@@ -1,0 +1,121 @@
+// Command cbbench regenerates every table and figure of the CellBricks
+// paper's evaluation (§6) as text output:
+//
+//	cbbench -exp fig7            # attachment latency breakdown
+//	cbbench -exp table1          # application performance, MNO vs CB
+//	cbbench -exp fig8            # iperf timeline around a handover
+//	cbbench -exp fig9            # attach-latency factor analysis
+//	cbbench -exp fig10           # day vs night rate limiting
+//	cbbench -exp all
+//
+// Flags tune the emulated duration, trials and seed; results print the
+// same rows/series the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cellbricks/internal/testbed"
+	"cellbricks/internal/trace"
+)
+
+// testbedDowntown avoids importing trace at every call site.
+func testbedDowntown() trace.Route { return trace.Downtown }
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig7|table1|fig8|fig9|fig10|transports|scale|billing|all")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	n := flag.Int("n", 100, "fig7: attach repetitions per cell")
+	dur := flag.Duration("dur", 8*time.Minute, "table1: emulated drive time per cell")
+	trials := flag.Int("trials", 3, "fig9: trials per configuration")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig7") {
+		run("Fig. 7: attachment latency breakdown (BL = Magma baseline, CB = CellBricks)", func() error {
+			var results []testbed.AttachBenchResult
+			for _, place := range testbed.Placements() {
+				for _, arch := range []testbed.Arch{testbed.ArchBaseline, testbed.ArchCellBricks} {
+					r, err := testbed.RunAttachBench(arch, place, *n)
+					if err != nil {
+						return err
+					}
+					results = append(results, r)
+				}
+			}
+			fmt.Print(testbed.RenderFig7(results))
+			return nil
+		})
+	}
+	if want("table1") {
+		run("Table 1: application performance, MNO vs CellBricks", func() error {
+			res := testbed.RunTable1(testbed.Table1Config{Duration: *dur, Seed: *seed})
+			fmt.Print(res.Render())
+			return nil
+		})
+	}
+	if want("fig8") {
+		run("Fig. 8: iperf throughput around a handover (day, downtown)", func() error {
+			fmt.Print(testbed.RunFig8(*seed, 60*time.Second).Render())
+			return nil
+		})
+	}
+	if want("fig9") {
+		run("Fig. 9: relative throughput vs time since handover (night)", func() error {
+			fmt.Print(testbed.RunFig9(*seed, *trials).Render())
+			return nil
+		})
+	}
+	if want("transports") {
+		run("Ablation: host transports (MPTCP/QUIC/TCP+L7) web loads", func() error {
+			for _, c := range testbed.RunTransportComparisonAll(*seed, *dur) {
+				fmt.Printf("%-22s %6.2fs over %d pages\n", c.Label, c.WebLoad.Seconds(), c.Pages)
+			}
+			return nil
+		})
+	}
+	if want("billing") {
+		run("Integration: verifiable billing across a full night drive", func() error {
+			sc := testbed.Scenario{Route: testbedDowntown(), Night: true, Arch: testbed.ArchCellBricks, Seed: *seed, Duration: *dur}
+			res, err := testbed.RunBilledDrive(sc, 30*time.Second)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("sessions=%d cycles=%d mismatches=%d\nUE-attested %d bytes, bTelco-claimed %d (gap %.3f%%)\nsettled %.6f units across %d bTelcos\n",
+				res.Sessions, res.Cycles, res.Mismatches,
+				res.UEBytes, res.TelcoBytes,
+				100*(float64(res.TelcoBytes)-float64(res.UEBytes))/float64(res.UEBytes),
+				res.TotalOwed, len(res.Settlements))
+			return nil
+		})
+	}
+	if want("scale") {
+		run("Ablation: shared-cell scaling (50 Mbps cell)", func() error {
+			var results []testbed.ScaleResult
+			for _, nUE := range []int{1, 4, 16, 64} {
+				results = append(results, testbed.RunScale(*seed, nUE, 50e6, 60*time.Second))
+			}
+			fmt.Print(testbed.RenderScale(results))
+			return nil
+		})
+	}
+	if want("fig10") {
+		run("Fig. 10 (Appendix A): day vs night rate limiting (downtown)", func() error {
+			fmt.Print(testbed.RunFig10(*seed, 500*time.Second).Render())
+			return nil
+		})
+	}
+}

@@ -1,0 +1,243 @@
+// Command cellbricksd runs a CellBricks testbed node over real TCP
+// sockets. It can play three roles:
+//
+//	cellbricksd -role broker -listen 127.0.0.1:7700
+//	    Runs brokerd: SAP authorization + billing ingestion.
+//
+//	cellbricksd -role btelco -listen 127.0.0.1:7800 -broker-addr 127.0.0.1:7700
+//	    Runs a bTelco (AGW + NAS server) that forwards SAP requests to the
+//	    broker. (In this self-contained testbed build, keys and
+//	    certificates come from a deterministic demo CA shared by all
+//	    roles.)
+//
+//	cellbricksd -role ue -btelco-addr 127.0.0.1:7800
+//	    Provisions a UE with the local demo broker state, attaches via
+//	    SAP over TCP, prints the attachment, and detaches.
+//
+//	cellbricksd -role demo
+//	    Runs all three in-process on loopback, attaches a UE, passes one
+//	    billing cycle, and prints everything — the zero-config smoke test.
+//
+// The demo CA/keys make the roles interoperable without a key-exchange
+// step; a production deployment would provision real keys (see DESIGN.md).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"cellbricks/internal/broker"
+	"cellbricks/internal/epc"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/qos"
+	"cellbricks/internal/sap"
+	"cellbricks/internal/testbed"
+	"cellbricks/internal/ue"
+	"cellbricks/internal/wire"
+)
+
+// Deterministic demo credentials shared by the roles so a multi-process
+// testbed needs no key distribution.
+func demoCA() *pki.CA {
+	ca, err := pki.NewCAFromSeed("demo-ca", bytes.Repeat([]byte{81}, 32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ca
+}
+
+func demoBrokerKey() *pki.KeyPair {
+	k, err := pki.KeyPairFromSeed(bytes.Repeat([]byte{82}, 32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return k
+}
+
+func demoUEKey() *pki.KeyPair {
+	k, err := pki.KeyPairFromSeed(bytes.Repeat([]byte{83}, 32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return k
+}
+
+const demoBrokerID = "broker.demo"
+
+func main() {
+	role := flag.String("role", "demo", "broker|btelco|ue|demo")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address (broker, btelco)")
+	brokerAddr := flag.String("broker-addr", "127.0.0.1:7700", "brokerd address (btelco role)")
+	btelcoAddr := flag.String("btelco-addr", "127.0.0.1:7800", "bTelco NAS address (ue role)")
+	telcoID := flag.String("telco-id", "btelco-demo", "bTelco identity (btelco, ue roles)")
+	flag.Parse()
+
+	switch *role {
+	case "broker":
+		runBroker(*listen)
+	case "btelco":
+		runBTelco(*listen, *brokerAddr, *telcoID)
+	case "ue":
+		runUE(*btelcoAddr, *telcoID)
+	case "demo":
+		runDemo()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
+		os.Exit(2)
+	}
+}
+
+func newDemoBroker() *broker.Brokerd {
+	cfg := broker.DefaultConfig(demoBrokerID, demoBrokerKey(), demoCA().Public())
+	b := broker.New(cfg)
+	b.RegisterUser(demoUEKey().Public()) // the demo UE
+	return b
+}
+
+func runBroker(listen string) {
+	b := newDemoBroker()
+	srv, err := broker.Serve(b, listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("brokerd %s listening on %s", b.ID(), srv.Addr())
+	waitForInterrupt()
+}
+
+func runBTelco(listen, brokerAddr, telcoID string) {
+	ca := demoCA()
+	key, err := pki.GenerateKeyPair()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert := ca.Issue(telcoID, "btelco", key.Public(), time.Now().Add(-time.Minute), time.Now().Add(365*24*time.Hour))
+	telco := &sap.TelcoState{
+		IDT: telcoID, Key: key, Cert: cert,
+		Terms: sap.ServiceTerms{Cap: qos.DefaultCapability(), PricePerGB: 2.0},
+	}
+	agw := epc.NewAGW(epc.AGWConfig{
+		Telco:   telco,
+		Brokers: dialDirectory{brokerAddr: brokerAddr},
+	})
+	srv, err := epc.ServeNAS(agw, listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("bTelco %s: NAS on %s, broker at %s", telcoID, srv.Addr(), brokerAddr)
+	waitForInterrupt()
+}
+
+// dialDirectory resolves any broker ID to the configured brokerd address
+// (the demo trusts the demo broker key).
+type dialDirectory struct{ brokerAddr string }
+
+func (d dialDirectory) Lookup(idB string) (epc.BrokerClient, pki.PublicIdentity, error) {
+	if idB != demoBrokerID {
+		return nil, pki.PublicIdentity{}, fmt.Errorf("unknown broker %q", idB)
+	}
+	c, err := broker.DialClient(d.brokerAddr)
+	if err != nil {
+		return nil, pki.PublicIdentity{}, err
+	}
+	return c, demoBrokerKey().Public(), nil
+}
+
+func runUE(btelcoAddr, telcoID string) {
+	key := demoUEKey()
+	sim := &sap.UEState{
+		IDU:       key.Public().Digest(),
+		IDB:       demoBrokerID,
+		Key:       key,
+		BrokerPub: demoBrokerKey().Public(),
+	}
+	dev := ue.NewDevice("demo-ue", nil, sim)
+	client, err := wire.Dial(btelcoAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	tx := func(envelope []byte) ([]byte, error) {
+		_, reply, err := client.Call(wire.TypeNAS, epc.EncodeNASCall("demo-ue", envelope))
+		return reply, err
+	}
+	a, err := dev.AttachSAP(tx, telcoID)
+	if err != nil {
+		log.Fatalf("attach: %v", err)
+	}
+	log.Printf("attached: session=%d ip=%s bearer=%d qci=%d dl=%d ul=%d",
+		a.SessionID, a.IP, a.BearerID, a.QCI, a.DLAmbrBps, a.ULAmbrBps)
+	if err := dev.Detach(tx); err != nil {
+		log.Fatalf("detach: %v", err)
+	}
+	log.Printf("detached cleanly")
+}
+
+func runDemo() {
+	d, err := testbed.NewRealDeployment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	log.Printf("demo: brokerd=%s sdb=%s agw-nas=%s",
+		d.BrokerSrv.Addr(), d.SDBSrv.Addr(), d.NASSrv.Addr())
+
+	dev, tx, err := d.NewCellBricksUE()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := dev.AttachSAP(tx, d.TelcoID())
+	if err != nil {
+		log.Fatalf("SAP attach: %v", err)
+	}
+	log.Printf("SAP attach ok: session=%d ip=%s", a.SessionID, a.IP)
+
+	// Pass some traffic and settle one billing cycle.
+	bearer := d.AGW.UserPlane().Lookup(a.IP)
+	for i := 0; i < 100; i++ {
+		if bearer.Process(time.Duration(i)*10*time.Millisecond, epc.Downlink, 1200) {
+			dev.Meter.CountDL(1200)
+		}
+	}
+	if err := d.UploadTelcoReport(a.SessionID, 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.UploadUEReport(dev, 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("billing cycle ok: telco score %.2f, %d mismatches",
+		d.Broker.TelcoScore(d.TelcoID()), len(d.Broker.Mismatches()))
+
+	if err := dev.Detach(tx); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("detach ok")
+
+	// And a legacy UE on the same core.
+	ldev, ltx, err := d.NewLegacyUE("001015550001234")
+	if err != nil {
+		log.Fatal(err)
+	}
+	la, err := ldev.AttachLegacy(ltx)
+	if err != nil {
+		log.Fatalf("legacy attach: %v", err)
+	}
+	log.Printf("legacy attach ok: session=%d ip=%s", la.SessionID, la.IP)
+	if err := ldev.Detach(ltx); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("demo complete")
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	log.Printf("shutting down")
+}

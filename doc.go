@@ -1,0 +1,30 @@
+// Package cellbricks is a from-scratch Go implementation of the
+// CellBricks cellular architecture ("Democratizing Cellular Access with
+// CellBricks", SIGCOMM 2021): a design that moves user management
+// (authentication, billing) and mobility support out of the cellular core
+// and into end hosts and an external broker, so that cellular providers of
+// any scale — down to a single tower — can serve any user on demand with
+// no pre-established agreements.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory):
+//
+//   - internal/core — the top-level API (Ecosystem, Broker, BTelco,
+//     Subscriber) the examples are written against.
+//   - internal/sap — the Secure Attachment Protocol, the paper's core
+//     contribution.
+//   - internal/epc, internal/broker, internal/ue — the cellular core,
+//     brokerd, and the UE host stack.
+//   - internal/billing — verifiable usage accounting and the reputation
+//     system.
+//   - internal/mptcp, internal/netem, internal/trace, internal/ran — the
+//     host transport and the emulation substrate behind the paper's
+//     evaluation.
+//   - internal/testbed — the experiment harness regenerating every table
+//     and figure (see bench_test.go and cmd/cbbench).
+//
+// Run the evaluation with:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/cbbench -exp all
+package cellbricks

@@ -1,0 +1,86 @@
+// Quickstart: the minimum CellBricks deployment — one broker, one bTelco
+// with no pre-established relationship to it, one subscriber. The UE
+// attaches on demand through the secure attachment protocol, passes
+// traffic, completes a verifiable billing cycle, and detaches.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cellbricks/internal/core"
+	"cellbricks/internal/epc"
+	"cellbricks/internal/sap"
+)
+
+func main() {
+	// A certificate authority anchors trust: brokers verify bTelco
+	// certificates against it, nothing else is shared in advance.
+	eco, err := core.NewEcosystem("example-ca")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The user's single contractual relationship: a broker.
+	brk, err := eco.NewBroker("broker.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small access provider: a single certified cell. It has never
+	// heard of this broker or its users.
+	dir := core.NewDirectory(brk)
+	cell, err := eco.NewBTelco(core.BTelcoConfig{
+		ID:      "corner-cafe-cell",
+		Brokers: dir,
+		Terms:   sap.ServiceTerms{PricePerGB: 2.50},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Subscribe a user: the broker issues the key pair the SIM holds.
+	sub, err := brk.Subscribe("alice-phone")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subscribed alice: idU=%s\n", sub.IDU)
+
+	// On-demand attach: UE -> bTelco -> broker -> back, one round trip.
+	a, err := sub.Attach(cell)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attached through %s: ip=%s qci=%d dl=%d Mbps\n",
+		cell.State.IDT, a.IP, a.QCI, a.DLAmbrBps/1e6)
+
+	// Traffic flows through the bTelco's user plane; both sides count it.
+	bearer := cell.AGW.UserPlane().Lookup(a.IP)
+	for i := 0; i < 1000; i++ {
+		now := time.Duration(i) * 5 * time.Millisecond
+		if bearer.Process(now, epc.Downlink, 1400) {
+			sub.Device.Meter.CountDL(1400)
+		}
+		if bearer.Process(now, epc.Uplink, 120) {
+			sub.Device.Meter.CountUL(120)
+		}
+	}
+	ul, dl := sub.Device.Meter.Snapshot()
+	fmt.Printf("traffic: ul=%d dl=%d bytes\n", ul, dl)
+
+	// Verifiable billing: independent signed reports, checked at the
+	// broker.
+	mismatch, err := core.ReportCycle(brk, cell, sub, a.SessionID, 30*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("billing cycle: mismatch=%v, telco score=%.2f\n",
+		mismatch != nil, brk.D.TelcoScore(cell.State.IDT))
+
+	// Host-driven detach.
+	if err := sub.Detach(cell); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("detached — done")
+}

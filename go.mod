@@ -1,0 +1,3 @@
+module cellbricks
+
+go 1.22

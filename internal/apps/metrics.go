@@ -1,0 +1,59 @@
+// Package apps implements the four application classes of the paper's
+// evaluation (Table 1): standard network benchmarks (iperf, ping), voice
+// calls with E-model MOS scoring, HLS-style adaptive video streaming, and
+// web page loading. Each runs inside the netem discrete-event simulator,
+// over the mptcp transport for TCP-class apps or directly over the packet
+// layer for the RTP/ICMP-class apps.
+package apps
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Percentile returns the p-th percentile (0..100) of samples; zero when
+// empty.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}
+
+// MOS computes the ITU-T G.107 E-model mean opinion score from one-way
+// delay, packet loss and jitter — the "industry standard quantitative
+// call quality metric ... numerically derived from the packet loss,
+// latency, and jitter measured during the call" the paper uses.
+func MOS(oneWayDelay time.Duration, lossRate float64, jitter time.Duration) float64 {
+	// Effective latency folds jitter in with the conventional 2x weight.
+	d := float64(oneWayDelay.Milliseconds()) + 2*float64(jitter.Milliseconds()) + 10
+
+	// Delay impairment Id.
+	id := 0.024 * d
+	if d > 177.3 {
+		id += 0.11 * (d - 177.3)
+	}
+	// Equipment impairment Ie for G.711 with packet loss (Bpl ≈ 15 for
+	// random loss).
+	ie := 30 * math.Log(1+15*lossRate)
+
+	r := 93.2 - id - ie
+	switch {
+	case r < 0:
+		return 1
+	case r > 100:
+		r = 100
+	}
+	mos := 1 + 0.035*r + 7e-6*r*(r-60)*(100-r)
+	if mos > 5 {
+		mos = 5
+	}
+	if mos < 1 {
+		mos = 1
+	}
+	return mos
+}

@@ -1,0 +1,103 @@
+package apps
+
+import (
+	"time"
+
+	"cellbricks/internal/netem"
+)
+
+// probe is the ping payload.
+type probe struct {
+	Seq    uint64
+	SentAt time.Duration
+	Echo   bool
+}
+
+// Pinger measures round-trip latency with periodic small probes (the
+// paper's "ping" benchmark; Table 1 reports p50).
+type Pinger struct {
+	sim      *netem.Sim
+	clientIP string
+	serverIP string
+	interval time.Duration
+
+	seq     uint64
+	sent    uint64
+	samples []time.Duration
+	stopped bool
+}
+
+// NewPinger wires a prober between clientIP and serverIP (a link must
+// exist). interval defaults to 200 ms.
+func NewPinger(sim *netem.Sim, clientIP, serverIP string, interval time.Duration) *Pinger {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	p := &Pinger{sim: sim, clientIP: clientIP, serverIP: serverIP, interval: interval}
+	sim.Register(serverIP, p.handleAtServer)
+	sim.Register(clientIP, p.handleAtClient)
+	return p
+}
+
+func (p *Pinger) handleAtServer(pkt *netem.Packet) {
+	pr, ok := pkt.Payload.(*probe)
+	if !ok || pr.Echo {
+		return
+	}
+	echo := *pr
+	echo.Echo = true
+	p.sim.Send(&netem.Packet{Src: p.serverIP, Dst: pkt.Src, Size: pkt.Size, Payload: &echo})
+}
+
+func (p *Pinger) handleAtClient(pkt *netem.Packet) {
+	pr, ok := pkt.Payload.(*probe)
+	if !ok || !pr.Echo {
+		return
+	}
+	p.samples = append(p.samples, p.sim.Now()-pr.SentAt)
+}
+
+// SetClientIP rehomes the prober after a host-driven mobility event.
+func (p *Pinger) SetClientIP(newIP string) {
+	p.sim.Unregister(p.clientIP)
+	p.clientIP = newIP
+	p.sim.Register(newIP, p.handleAtClient)
+}
+
+// InvalidateClient drops the prober's address (probes in this window are
+// lost, as during a CellBricks re-attachment).
+func (p *Pinger) InvalidateClient() {
+	p.sim.Unregister(p.clientIP)
+}
+
+// Run probes for dur and returns RTT samples collected.
+func (p *Pinger) Run(dur time.Duration) []time.Duration {
+	end := p.sim.Now() + dur
+	var tick func()
+	tick = func() {
+		if p.stopped || p.sim.Now() >= end {
+			return
+		}
+		p.seq++
+		p.sent++
+		p.sim.Send(&netem.Packet{
+			Src:     p.clientIP,
+			Dst:     p.serverIP,
+			Size:    64,
+			Payload: &probe{Seq: p.seq, SentAt: p.sim.Now()},
+		})
+		p.sim.After(p.interval, tick)
+	}
+	tick()
+	p.sim.RunUntil(end + time.Second) // drain trailing echoes
+	return p.samples
+}
+
+// Stats summarizes the run.
+func (p *Pinger) Stats() (p50 time.Duration, lossRate float64) {
+	p50 = Percentile(p.samples, 50)
+	if p.sent > 0 {
+		lossRate = 1 - float64(len(p.samples))/float64(p.sent)
+	}
+	return
+}

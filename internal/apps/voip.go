@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"time"
+
+	"cellbricks/internal/netem"
+)
+
+// rtpPacket is a CBR voice frame.
+type rtpPacket struct {
+	Seq    uint64
+	SentAt time.Duration
+}
+
+// VoIPResult summarizes a call.
+type VoIPResult struct {
+	MOS      float64
+	Loss     float64
+	AvgDelay time.Duration
+	Jitter   time.Duration
+	Received uint64
+	Sent     uint64
+}
+
+// VoIP models a pjsua-style call: the server sends a 50 pps / 160 B RTP
+// stream (G.711 at ~30 kbps, matching the paper's "VoIP ... requiring
+// ≈30 kbps"). On an IP change the client issues a SIP re-INVITE (one
+// signalling round trip) before media resumes to the new address — the
+// paper's fallback for apps that do not ride MPTCP.
+type VoIP struct {
+	sim      *netem.Sim
+	clientIP string
+	serverIP string
+
+	seq      uint64
+	sent     uint64
+	received uint64
+	delays   []time.Duration
+	// RFC 3550 interarrival jitter state.
+	jitter    float64
+	lastDelay time.Duration
+	haveLast  bool
+
+	active  bool
+	stopped bool
+}
+
+// frameInterval and frameSize define the CBR stream.
+const (
+	frameInterval = 20 * time.Millisecond
+	frameSize     = 160 + 40 // payload + RTP/UDP/IP headers
+)
+
+// NewVoIP wires a call between clientIP (listener) and serverIP (media
+// source).
+func NewVoIP(sim *netem.Sim, clientIP, serverIP string) *VoIP {
+	v := &VoIP{sim: sim, clientIP: clientIP, serverIP: serverIP, active: true}
+	sim.Register(clientIP, v.handleMedia)
+	return v
+}
+
+func (v *VoIP) handleMedia(pkt *netem.Packet) {
+	rtp, ok := pkt.Payload.(*rtpPacket)
+	if !ok {
+		return
+	}
+	v.received++
+	delay := v.sim.Now() - rtp.SentAt
+	v.delays = append(v.delays, delay)
+	if v.haveLast {
+		d := delay - v.lastDelay
+		if d < 0 {
+			d = -d
+		}
+		// J += (|D| - J)/16 per RFC 3550.
+		v.jitter += (float64(d) - v.jitter) / 16
+	}
+	v.lastDelay = delay
+	v.haveLast = true
+}
+
+// InvalidateClient models the address loss at detachment: media to the old
+// address is lost.
+func (v *VoIP) InvalidateClient() {
+	v.sim.Unregister(v.clientIP)
+	v.active = false
+}
+
+// Rehome completes the SIP re-INVITE for the client's new address: one
+// signalling round trip after the new attachment, then media resumes.
+func (v *VoIP) Rehome(newIP string, signalRTT time.Duration) {
+	v.clientIP = newIP
+	v.sim.After(signalRTT, func() {
+		if v.stopped {
+			return
+		}
+		v.sim.Register(newIP, v.handleMedia)
+		v.active = true
+	})
+}
+
+// Run streams for dur and returns call-quality metrics.
+func (v *VoIP) Run(dur time.Duration) VoIPResult {
+	end := v.sim.Now() + dur
+	var tick func()
+	tick = func() {
+		if v.stopped || v.sim.Now() >= end {
+			return
+		}
+		v.seq++
+		v.sent++
+		v.sim.Send(&netem.Packet{
+			Src:     v.serverIP,
+			Dst:     v.clientIP,
+			Size:    frameSize,
+			Payload: &rtpPacket{Seq: v.seq, SentAt: v.sim.Now()},
+		})
+		v.sim.After(frameInterval, tick)
+	}
+	tick()
+	v.sim.RunUntil(end + time.Second)
+	v.stopped = true
+
+	res := VoIPResult{Sent: v.sent, Received: v.received}
+	if v.sent > 0 {
+		res.Loss = 1 - float64(v.received)/float64(v.sent)
+	}
+	if len(v.delays) > 0 {
+		var sum time.Duration
+		for _, d := range v.delays {
+			sum += d
+		}
+		res.AvgDelay = sum / time.Duration(len(v.delays))
+	}
+	res.Jitter = time.Duration(v.jitter)
+	res.MOS = MOS(res.AvgDelay, res.Loss, res.Jitter)
+	return res
+}

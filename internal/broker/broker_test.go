@@ -1,0 +1,445 @@
+package broker
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cellbricks/internal/billing"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/qos"
+	"cellbricks/internal/sap"
+)
+
+// harness wires a brokerd with one registered user and one certified
+// bTelco, exposing raw SAP plumbing for adversarial tests.
+type harness struct {
+	brk   *Brokerd
+	ca    *pki.CA
+	ue    *sap.UEState
+	ueKey *pki.KeyPair
+	telco *sap.TelcoState
+	now   time.Time
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	now := time.Unix(1_760_000_000, 0)
+	ca, err := pki.NewCAFromSeed("h-ca", bytes.Repeat([]byte{90}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, _ := pki.KeyPairFromSeed(bytes.Repeat([]byte{91}, 32))
+	cfg := DefaultConfig("broker.h", bk, ca.Public())
+	cfg.Now = func() time.Time { return now }
+	brk := New(cfg)
+
+	uk, _ := pki.KeyPairFromSeed(bytes.Repeat([]byte{92}, 32))
+	idU := brk.RegisterUser(uk.Public())
+
+	tk, _ := pki.KeyPairFromSeed(bytes.Repeat([]byte{93}, 32))
+	cert := ca.Issue("h-telco", "btelco", tk.Public(), now.Add(-time.Hour), now.Add(time.Hour))
+	telco := &sap.TelcoState{
+		IDT: "h-telco", Key: tk, Cert: cert,
+		Terms: sap.ServiceTerms{Cap: qos.DefaultCapability(), PricePerGB: 1.5},
+	}
+	ue := &sap.UEState{IDU: idU, IDB: "broker.h", Key: uk, BrokerPub: bk.Public()}
+	return &harness{brk: brk, ca: ca, ue: ue, ueKey: uk, telco: telco, now: now}
+}
+
+// attach runs the SAP exchange, returning the grant and session ref.
+func (h *harness) attach(t *testing.T) (*sap.Grant, string) {
+	t.Helper()
+	reqU, pending, err := h.ue.NewAttachRequest(h.telco.IDT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqT, err := h.telco.ForwardRequest(reqU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := h.brk.HandleAuthRequest(reqT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Granted {
+		t.Fatalf("denied: %s", resp.Cause)
+	}
+	grant, respU, err := h.telco.HandleResponse(h.brk.Public(), resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.ue.HandleResponse(pending, respU); err != nil {
+		t.Fatal(err)
+	}
+	return grant, grant.URef
+}
+
+func (h *harness) report(t *testing.T, rep billing.Reporter, signer *pki.KeyPair, ref string, seq uint32, dl uint64) *billing.Mismatch {
+	t.Helper()
+	r := &billing.Report{
+		SessionRef: ref, Reporter: rep, Seq: seq,
+		Rel: time.Duration(seq) * 30 * time.Second, DLBytes: dl,
+	}
+	env, err := billing.Seal(r, signer, h.brk.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.brk.HandleReport(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGrantRecordedAndBound(t *testing.T) {
+	h := newHarness(t)
+	grant, ref := h.attach(t)
+	rec := h.brk.Grant(ref)
+	if rec == nil || rec.IDT != "h-telco" {
+		t.Fatalf("grant record = %+v", rec)
+	}
+	if rec.SS != grant.SS {
+		t.Fatal("broker and telco ss differ")
+	}
+}
+
+func TestReportPipelineHonest(t *testing.T) {
+	h := newHarness(t)
+	_, ref := h.attach(t)
+	if m := h.report(t, billing.ReporterUE, h.ueKey, ref, 1, 1_000_000); m != nil {
+		t.Fatalf("half pair flagged: %+v", m)
+	}
+	if m := h.report(t, billing.ReporterTelco, h.telco.Key, ref, 1, 1_010_000); m != nil {
+		t.Fatalf("honest pair flagged: %+v", m)
+	}
+}
+
+func TestReportWrongSignerRejected(t *testing.T) {
+	h := newHarness(t)
+	_, ref := h.attach(t)
+	// The telco tries to forge a UE report with its own key.
+	r := &billing.Report{SessionRef: ref, Reporter: billing.ReporterUE, Seq: 1, DLBytes: 1}
+	env, err := billing.Seal(r, h.telco.Key, h.brk.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.brk.HandleReport(env); err == nil {
+		t.Fatal("forged UE report accepted")
+	}
+}
+
+func TestReportUnknownSessionRejected(t *testing.T) {
+	h := newHarness(t)
+	h.attach(t)
+	r := &billing.Report{SessionRef: "bogus", Reporter: billing.ReporterUE, Seq: 1}
+	env, _ := billing.Seal(r, h.ueKey, h.brk.Public())
+	if _, err := h.brk.HandleReport(env); err == nil {
+		t.Fatal("report for unknown session accepted")
+	}
+}
+
+func TestReputationGateDeniesAttach(t *testing.T) {
+	h := newHarness(t)
+	_, ref := h.attach(t)
+	// Persistent inflation tanks the score below the 0.5 gate.
+	for seq := uint32(1); seq <= 10; seq++ {
+		h.report(t, billing.ReporterUE, h.ueKey, ref, seq, 1_000_000)
+		h.report(t, billing.ReporterTelco, h.telco.Key, ref, seq, 5_000_000)
+	}
+	if s := h.brk.TelcoScore("h-telco"); s >= 0.5 {
+		t.Fatalf("score %.2f still above gate", s)
+	}
+	reqU, _, _ := h.ue.NewAttachRequest(h.telco.IDT)
+	reqT, _ := h.telco.ForwardRequest(reqU)
+	resp, err := h.brk.HandleAuthRequest(reqT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Granted {
+		t.Fatal("attach granted through disreputable bTelco")
+	}
+	if !strings.Contains(resp.Cause, "reputation") {
+		t.Fatalf("cause = %q", resp.Cause)
+	}
+}
+
+func TestPriceGate(t *testing.T) {
+	h := newHarness(t)
+	h.brk.cfg.MaxPricePerGB = 1.0 // telco advertises 1.5
+	reqU, _, _ := h.ue.NewAttachRequest(h.telco.IDT)
+	reqT, _ := h.telco.ForwardRequest(reqU)
+	resp, err := h.brk.HandleAuthRequest(reqT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Granted {
+		t.Fatal("over-priced bTelco accepted")
+	}
+	if !strings.Contains(resp.Cause, "price") {
+		t.Fatalf("cause = %q", resp.Cause)
+	}
+}
+
+func TestSettleSessionFlow(t *testing.T) {
+	h := newHarness(t)
+	_, ref := h.attach(t)
+	h.report(t, billing.ReporterUE, h.ueKey, ref, 1, 2_000_000)
+	h.report(t, billing.ReporterTelco, h.telco.Key, ref, 1, 2_020_000)
+	st, err := h.brk.SettleSession(ref, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Disputed {
+		t.Fatal("honest session disputed")
+	}
+	if st.VerifiedBytes < 2_000_000 || st.VerifiedBytes > 2_020_000 {
+		t.Fatalf("verified = %d", st.VerifiedBytes)
+	}
+	// Price from the SAP terms: 1.5 per GB.
+	want := float64(st.VerifiedBytes) / 1e9 * 1.5
+	if st.Amount != want {
+		t.Fatalf("amount = %v, want %v", st.Amount, want)
+	}
+	if _, err := h.brk.SettleSession("bogus", time.Second); err == nil {
+		t.Fatal("settle for unknown session accepted")
+	}
+}
+
+func TestRevokedUserDenied(t *testing.T) {
+	h := newHarness(t)
+	h.brk.RevokeUser(h.ue.IDU)
+	reqU, _, _ := h.ue.NewAttachRequest(h.telco.IDT)
+	reqT, _ := h.telco.ForwardRequest(reqU)
+	resp, err := h.brk.HandleAuthRequest(reqT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Granted {
+		t.Fatal("revoked user granted")
+	}
+}
+
+func TestWireServerRoundTrip(t *testing.T) {
+	h := newHarness(t)
+	srv, err := Serve(h.brk, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	reqU, pending, _ := h.ue.NewAttachRequest(h.telco.IDT)
+	reqT, _ := h.telco.ForwardRequest(reqU)
+	resp, err := client.Authenticate(reqT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, respU, err := h.telco.HandleResponse(h.brk.Public(), resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.ue.HandleResponse(pending, respU); err != nil {
+		t.Fatal(err)
+	}
+	// Upload a report over the wire too.
+	r := &billing.Report{SessionRef: grant.URef, Reporter: billing.ReporterUE, Seq: 1, DLBytes: 5}
+	env, _ := billing.Seal(r, h.ueKey, h.brk.Public())
+	if err := client.UploadReport(env); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQoSViolationPenalized(t *testing.T) {
+	h := newHarness(t)
+	_, ref := h.attach(t)
+	// UE attests terrible delay (QCI 9 budget 300 ms; 3x factor = 900 ms)
+	// over several cycles: QoS incidents accrue and the score dips, but
+	// far more gently than accounting fraud would.
+	for seq := uint32(1); seq <= 5; seq++ {
+		r := &billing.Report{
+			SessionRef: ref, Reporter: billing.ReporterUE, Seq: seq,
+			Rel:     time.Duration(seq) * 30 * time.Second,
+			DLBytes: 1_000_000,
+			QoS:     billing.QoSMetrics{DLDelayMs: 2500},
+		}
+		env, err := billing.Seal(r, h.ueKey, h.brk.Public())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.brk.HandleReport(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.brk.QoSViolations("h-telco"); got != 5 {
+		t.Fatalf("violations = %d, want 5", got)
+	}
+	s := h.brk.TelcoScore("h-telco")
+	if s >= 1.0 {
+		t.Fatalf("score unchanged: %v", s)
+	}
+	if s < 0.7 {
+		t.Fatalf("QoS-only penalty too harsh: %.2f", s)
+	}
+}
+
+func TestQoSWithinBudgetNoPenalty(t *testing.T) {
+	h := newHarness(t)
+	_, ref := h.attach(t)
+	r := &billing.Report{
+		SessionRef: ref, Reporter: billing.ReporterUE, Seq: 1,
+		DLBytes: 1_000_000,
+		QoS:     billing.QoSMetrics{DLDelayMs: 150, DLLossRate: 0.001},
+	}
+	env, _ := billing.Seal(r, h.ueKey, h.brk.Public())
+	if _, err := h.brk.HandleReport(env); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.brk.QoSViolations("h-telco"); got != 0 {
+		t.Fatalf("violations = %d for in-budget metrics", got)
+	}
+}
+
+func TestPolicyChain(t *testing.T) {
+	h := newHarness(t)
+	h.brk.SetPolicy(qos.DefaultParams(),
+		PriceCap(2.0),
+		TierByPrice(1.0, qos.Params{QCI: qos.QCIWebTCPDefault, DLAmbrBps: 2e6, ULAmbrBps: 1e6}),
+	)
+	// The harness telco advertises 1.5/GB: admitted (under the 2.0 cap)
+	// but throttled (over the 1.0 tier threshold).
+	grant, _ := h.attach(t)
+	if grant.Params.DLAmbrBps != 2e6 {
+		t.Fatalf("throttled tier not applied: %+v", grant.Params)
+	}
+
+	// Tighten the cap below the advertised price: vetoed.
+	h.brk.SetPolicy(qos.DefaultParams(), PriceCap(1.0))
+	reqU, _, _ := h.ue.NewAttachRequest(h.telco.IDT)
+	reqT, _ := h.telco.ForwardRequest(reqU)
+	resp, err := h.brk.HandleAuthRequest(reqT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Granted {
+		t.Fatal("price-capped bTelco granted")
+	}
+}
+
+func TestPolicyAllowBlockLists(t *testing.T) {
+	h := newHarness(t)
+	h.brk.SetPolicy(qos.DefaultParams(), AllowTelcos("someone-else"))
+	reqU, _, _ := h.ue.NewAttachRequest(h.telco.IDT)
+	reqT, _ := h.telco.ForwardRequest(reqU)
+	if resp, _ := h.brk.HandleAuthRequest(reqT); resp.Granted {
+		t.Fatal("telco outside allow list granted")
+	}
+	h.brk.SetPolicy(qos.DefaultParams(), BlockTelcos("h-telco"))
+	reqU2, _, _ := h.ue.NewAttachRequest(h.telco.IDT)
+	reqT2, _ := h.telco.ForwardRequest(reqU2)
+	if resp, _ := h.brk.HandleAuthRequest(reqT2); resp.Granted {
+		t.Fatal("blocked telco granted")
+	}
+	h.brk.SetPolicy(qos.DefaultParams(), AllowTelcos("h-telco"))
+	h.attach(t) // allowed again
+}
+
+func TestPolicyRequireLI(t *testing.T) {
+	h := newHarness(t)
+	h.brk.SetPolicy(qos.DefaultParams(), RequireLI())
+	reqU, _, _ := h.ue.NewAttachRequest(h.telco.IDT)
+	reqT, _ := h.telco.ForwardRequest(reqU)
+	if resp, _ := h.brk.HandleAuthRequest(reqT); resp.Granted {
+		t.Fatal("non-LI telco granted under RequireLI")
+	}
+	h.telco.Terms.LawfulIntercept = true
+	h.attach(t)
+}
+
+func TestPolicyPerUserAndOffPeak(t *testing.T) {
+	h := newHarness(t)
+	premium := qos.Params{QCI: qos.QCIWebTCPPremium, DLAmbrBps: 80e6, ULAmbrBps: 40e6}
+	clock := time.Date(2026, 1, 1, 3, 0, 0, 0, time.UTC) // off-peak
+	h.brk.SetPolicy(qos.DefaultParams(),
+		PerUserQoS(map[string]qos.Params{h.ue.IDU: premium}),
+		OffPeakBoost(func() time.Time { return clock }, 1.25),
+	)
+	grant, _ := h.attach(t)
+	// Premium override boosted 1.25x, then clamped to the 100 Mbps cap.
+	want := uint64(80e6 * 1.25)
+	if grant.Params.DLAmbrBps != want {
+		t.Fatalf("DL = %d, want %d", grant.Params.DLAmbrBps, want)
+	}
+	if grant.Params.QCI != qos.QCIWebTCPPremium {
+		t.Fatalf("QCI = %d", grant.Params.QCI)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	h := newHarness(t)
+	_, ref := h.attach(t)
+	// Build up some state: reports, a mismatch, a price.
+	h.report(t, billing.ReporterUE, h.ueKey, ref, 1, 1_000_000)
+	h.report(t, billing.ReporterTelco, h.telco.Key, ref, 1, 5_000_000) // inflation
+	scoreBefore := h.brk.TelcoScore("h-telco")
+	if scoreBefore >= 1.0 {
+		t.Fatal("setup: no reputation damage")
+	}
+
+	snap := h.brk.Snapshot()
+
+	// A fresh broker with the same identity restores everything.
+	bk, _ := pki.KeyPairFromSeed(bytes.Repeat([]byte{91}, 32))
+	cfg := DefaultConfig("broker.h", bk, h.ca.Public())
+	cfg.Now = func() time.Time { return h.now }
+	fresh := New(cfg)
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.TelcoScore("h-telco"); got != scoreBefore {
+		t.Fatalf("restored score %.3f != %.3f", got, scoreBefore)
+	}
+	if fresh.Grant(ref) == nil {
+		t.Fatal("grant lost across restart")
+	}
+	// The restored broker keeps serving: the old user attaches again...
+	h.brk = fresh
+	h.attach(t)
+	// ...and keeps settling the old session's reports.
+	h.report(t, billing.ReporterUE, h.ueKey, ref, 2, 2_000_000)
+	h.report(t, billing.ReporterTelco, h.telco.Key, ref, 2, 2_020_000)
+	st, err := fresh.SettleSession(ref, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VerifiedBytes == 0 {
+		t.Fatal("settlement lost history")
+	}
+	// Price survived the restart (1.5/GB from the original SAP terms).
+	if want := float64(st.VerifiedBytes) / 1e9 * 1.5; st.Amount != want {
+		t.Fatalf("amount %.9f, want %.9f", st.Amount, want)
+	}
+}
+
+func TestRestoreRejectsWrongBrokerOrVersion(t *testing.T) {
+	h := newHarness(t)
+	snap := h.brk.Snapshot()
+	bk, _ := pki.KeyPairFromSeed(bytes.Repeat([]byte{99}, 32))
+	other := New(DefaultConfig("broker.other", bk, h.ca.Public()))
+	if err := other.Restore(snap); err == nil {
+		t.Fatal("snapshot restored into a different broker")
+	}
+	bad := append([]byte(nil), snap...)
+	bad[0] = 99
+	if err := h.brk.Restore(bad); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if err := h.brk.Restore(snap[:10]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package broker
+
+import (
+	"fmt"
+
+	"cellbricks/internal/billing"
+	"cellbricks/internal/sap"
+	"cellbricks/internal/wire"
+)
+
+// Server exposes a Brokerd over the wire protocol (the real-socket
+// deployment: brokerd runs in the cloud, AGWs and UEs reach it over TCP).
+type Server struct {
+	B   *Brokerd
+	srv *wire.Server
+}
+
+// Serve starts the broker's wire server on addr.
+func Serve(b *Brokerd, addr string) (*Server, error) {
+	s := &Server{B: b}
+	srv, err := wire.NewServer(addr, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.srv = srv
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handle(msgType byte, payload []byte) (byte, []byte, error) {
+	switch msgType {
+	case wire.TypeSAPAuthRequest:
+		req, err := sap.UnmarshalAuthReqT(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := s.B.HandleAuthRequest(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.TypeSAPAuthResponse, resp.Marshal(), nil
+	case wire.TypeReportUpload:
+		env, err := billing.UnmarshalSealedReport(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if _, err := s.B.HandleReport(env); err != nil {
+			return 0, nil, err
+		}
+		return wire.TypeReportAck, nil, nil
+	default:
+		return 0, nil, fmt.Errorf("broker: unexpected message type %d", msgType)
+	}
+}
+
+// Client is a wire-protocol client implementing epc.BrokerClient plus
+// report upload; used by AGWs and (for UE reports) by the UE's data path.
+type Client struct{ C *wire.Client }
+
+// DialClient connects to a brokerd server.
+func DialClient(addr string) (*Client, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{C: c}, nil
+}
+
+// Authenticate implements the SAP round trip.
+func (c *Client) Authenticate(req *sap.AuthReqT) (*sap.AuthResp, error) {
+	_, reply, err := c.C.Call(wire.TypeSAPAuthRequest, req.Marshal())
+	if err != nil {
+		return nil, err
+	}
+	return sap.UnmarshalAuthResp(reply)
+}
+
+// UploadReport delivers one sealed traffic report.
+func (c *Client) UploadReport(env *billing.SealedReport) error {
+	_, _, err := c.C.Call(wire.TypeReportUpload, env.Marshal())
+	return err
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.C.Close() }

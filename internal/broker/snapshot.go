@@ -1,0 +1,129 @@
+package broker
+
+import (
+	"fmt"
+
+	"cellbricks/internal/codec"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/qos"
+	"cellbricks/internal/sap"
+)
+
+// Snapshot serializes the broker's durable state — registered users,
+// known bTelco keys, grants, agreed prices, and reputation entries — so a
+// restarted brokerd resumes exactly where it stopped: sessions keep
+// settling and reputation history survives. (Pending unpaired reports and
+// the replay cache are deliberately excluded: reports retransmit, and a
+// restart naturally re-arms replay protection.)
+const snapshotVersion = 1
+
+// Snapshot encodes the broker's durable state.
+func (b *Brokerd) Snapshot() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	w := codec.NewWriter(4096)
+	w.Byte(snapshotVersion)
+	w.String(b.cfg.ID)
+
+	w.Uint32(uint32(len(b.users)))
+	for id, pub := range b.users {
+		w.String(id)
+		w.Bytes(pub.Bytes())
+	}
+	w.Uint32(uint32(len(b.telcoKeys)))
+	for id, pub := range b.telcoKeys {
+		w.String(id)
+		w.Bytes(pub.Bytes())
+	}
+	w.Uint32(uint32(len(b.grants)))
+	for uref, g := range b.grants {
+		w.String(uref)
+		w.String(g.IDU)
+		w.String(g.IDT)
+		w.Bytes(g.SS[:])
+		w.Byte(byte(g.QoS.QCI))
+		w.Uint64(g.QoS.DLAmbrBps)
+		w.Uint64(g.QoS.ULAmbrBps)
+		w.Float64(b.prices[uref])
+	}
+	reps := b.verifier.Reputations()
+	w.Uint32(uint32(len(reps)))
+	for id, e := range reps {
+		w.String(id)
+		w.Float64(e.Score)
+		w.Uint32(uint32(e.Reports))
+		w.Uint32(uint32(e.Mismatches))
+		w.Float64(e.Penalty)
+	}
+	suspects := b.verifier.Suspects()
+	w.Uint32(uint32(len(suspects)))
+	for _, id := range suspects {
+		w.String(id)
+	}
+	return w.Out()
+}
+
+// Restore loads a snapshot into a freshly constructed broker (same ID and
+// key as the one that produced it).
+func (b *Brokerd) Restore(snap []byte) error {
+	r := codec.NewReader(snap)
+	if v := r.Byte(); v != snapshotVersion {
+		return fmt.Errorf("broker: snapshot version %d unsupported", v)
+	}
+	id := r.String()
+	if id != b.cfg.ID {
+		return fmt.Errorf("broker: snapshot for %q, this broker is %q", id, b.cfg.ID)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	nUsers := r.Uint32()
+	for i := uint32(0); i < nUsers && r.Err() == nil; i++ {
+		uid := r.String()
+		pub, err := pki.ParsePublicIdentity(r.Bytes())
+		if err != nil {
+			return err
+		}
+		b.users[uid] = pub
+		b.sap.RegisterUser(pub)
+		_ = uid // RegisterUser derives the same digest id
+	}
+	nTelcos := r.Uint32()
+	for i := uint32(0); i < nTelcos && r.Err() == nil; i++ {
+		tid := r.String()
+		pub, err := pki.ParsePublicIdentity(r.Bytes())
+		if err != nil {
+			return err
+		}
+		b.telcoKeys[tid] = pub
+	}
+	nGrants := r.Uint32()
+	for i := uint32(0); i < nGrants && r.Err() == nil; i++ {
+		g := &sap.GrantRecord{}
+		uref := r.String()
+		g.URef = uref
+		g.IDU = r.String()
+		g.IDT = r.String()
+		copy(g.SS[:], r.Bytes())
+		g.QoS.QCI = qos.QCI(r.Byte())
+		g.QoS.DLAmbrBps = r.Uint64()
+		g.QoS.ULAmbrBps = r.Uint64()
+		b.prices[uref] = r.Float64()
+		b.grants[uref] = g
+		b.verifier.BindSession(uref, g.IDU, g.IDT)
+	}
+	nReps := r.Uint32()
+	for i := uint32(0); i < nReps && r.Err() == nil; i++ {
+		tid := r.String()
+		score := r.Float64()
+		reports := int(r.Uint32())
+		mismatches := int(r.Uint32())
+		penalty := r.Float64()
+		b.verifier.RestoreReputation(tid, score, reports, mismatches, penalty)
+	}
+	nSusp := r.Uint32()
+	for i := uint32(0); i < nSusp && r.Err() == nil; i++ {
+		b.verifier.RestoreSuspect(r.String())
+	}
+	return r.Done()
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cellbricks/internal/aka"
+	"cellbricks/internal/broker"
+	"cellbricks/internal/epc"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/ran"
+	"cellbricks/internal/sap"
+)
+
+// buildEco wires one ecosystem with a broker and two bTelcos.
+func buildEco(t *testing.T) (*Ecosystem, *Broker, *BTelco, *BTelco) {
+	t.Helper()
+	eco, err := NewEcosystem("test-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	brk, err := eco.NewBroker("broker.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := NewDirectory(brk)
+	t1, err := eco.NewBTelco(BTelcoConfig{ID: "coffee-shop-cell", Brokers: dir, Terms: sap.ServiceTerms{PricePerGB: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := eco.NewBTelco(BTelcoConfig{ID: "mall-cell", Brokers: dir, Terms: sap.ServiceTerms{PricePerGB: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eco, brk, t1, t2
+}
+
+func TestSubscribeAttachDetach(t *testing.T) {
+	_, brk, t1, _ := buildEco(t)
+	sub, err := brk.Subscribe("ue-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sub.Attach(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IP == "" {
+		t.Fatal("no IP")
+	}
+	if err := sub.Detach(t1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostDrivenMobilityAcrossBTelcos(t *testing.T) {
+	_, brk, t1, t2 := buildEco(t)
+	sub, err := brk.Subscribe("ue-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := sub.Attach(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host-driven handover: detach from T1, independently attach to T2 —
+	// no coordination between the providers.
+	if err := sub.Detach(t1); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := sub.Attach(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.IP == a1.IP && t1.AGW == t2.AGW {
+		t.Fatal("no fresh attachment state")
+	}
+	if t1.AGW.ActiveSessions() != 0 || t2.AGW.ActiveSessions() != 1 {
+		t.Fatalf("sessions: t1=%d t2=%d", t1.AGW.ActiveSessions(), t2.AGW.ActiveSessions())
+	}
+}
+
+func TestHonestBillingCycle(t *testing.T) {
+	_, brk, t1, _ := buildEco(t)
+	sub, err := brk.Subscribe("ue-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sub.Attach(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bearer := t1.AGW.UserPlane().Lookup(a.IP)
+	for i := 0; i < 200; i++ {
+		if bearer.Process(time.Duration(i)*5*time.Millisecond, epc.Downlink, 1400) {
+			sub.Device.Meter.CountDL(1400)
+		}
+	}
+	m, err := ReportCycle(brk, t1, sub, a.SessionID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Fatalf("honest cycle flagged: %+v", m)
+	}
+	if s := brk.D.TelcoScore("coffee-shop-cell"); s < 0.99 {
+		t.Fatalf("score %.2f", s)
+	}
+}
+
+func TestMultiBrokerSingleBTelco(t *testing.T) {
+	eco, err := NewEcosystem("ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := eco.NewBroker("broker-a")
+	b2, _ := eco.NewBroker("broker-b")
+	dir := NewDirectory(b1, b2)
+	tel, err := eco.NewBTelco(BTelcoConfig{ID: "shared-cell", Brokers: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One bTelco serves users of two brokers simultaneously
+	// ("bTelcos are inherently multi-tenant").
+	s1, _ := b1.Subscribe("ue-a")
+	s2, _ := b2.Subscribe("ue-b")
+	if _, err := s1.Attach(tel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Attach(tel); err != nil {
+		t.Fatal(err)
+	}
+	if tel.AGW.ActiveSessions() != 2 {
+		t.Fatalf("sessions = %d", tel.AGW.ActiveSessions())
+	}
+}
+
+func TestUnknownBrokerRejected(t *testing.T) {
+	eco, _ := NewEcosystem("ca")
+	lone, _ := eco.NewBroker("broker-lone")
+	dir := NewDirectory() // empty: the bTelco knows no brokers
+	tel, err := eco.NewBTelco(BTelcoConfig{ID: "cell-x", Brokers: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := lone.Subscribe("ue-x")
+	_, err = sub.Attach(tel)
+	if err == nil || !strings.Contains(err.Error(), "unknown broker") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForeignCAUntrusted(t *testing.T) {
+	ecoA, _ := NewEcosystem("ca-a")
+	ecoB, _ := NewEcosystem("ca-b")
+	brk, _ := ecoA.NewBroker("broker.a") // trusts only ca-a
+	dir := NewDirectory(brk)
+	// bTelco certified by a CA the broker does not trust.
+	tel, err := ecoB.NewBTelco(BTelcoConfig{ID: "rogue-cell", Brokers: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := brk.Subscribe("ue-y")
+	if _, err := sub.Attach(tel); err == nil {
+		t.Fatal("attach through untrusted-CA bTelco succeeded")
+	}
+}
+
+func TestAttachThroughENB(t *testing.T) {
+	_, brk, t1, _ := buildEco(t)
+	enb := t1.NewENB(ran.Cell{ID: "cell-1", TelcoID: t1.State.IDT, RRCSetupDelay: 130 * time.Millisecond})
+	sub, err := brk.Subscribe("enb-ue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := TransportVia(enb, "enb-ue")
+	// Without an RRC connection the eNB refuses to relay NAS.
+	if _, err := sub.Device.AttachSAP(tx, t1.State.IDT); err == nil {
+		t.Fatal("NAS relayed without RRC connection")
+	}
+	if _, err := enb.Connect("enb-ue"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := sub.Device.AttachSAP(tx, t1.State.IDT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IP == "" {
+		t.Fatal("no IP through eNB path")
+	}
+	if enb.Connected() != 1 {
+		t.Fatalf("connected = %d", enb.Connected())
+	}
+}
+
+func TestBaselineX2Handover(t *testing.T) {
+	// The network-driven handover CellBricks removes: within one
+	// operator, the session (IP, bearers, security context) survives a
+	// move between eNodeBs via core rebinding.
+	eco, _ := NewEcosystem("x2-ca")
+	brk, _ := eco.NewBroker("broker.x2")
+	dir := NewDirectory(brk)
+	tel, err := eco.NewBTelco(BTelcoConfig{ID: "big-mno", Brokers: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := brk.Subscribe("x2-ue")
+	a, err := sub.Attach(tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X2 handover to a second eNB: new RAN binding, same everything else.
+	if err := tel.AGW.RebindRAN(a.SessionID, "x2-ue@enb2"); err != nil {
+		t.Fatal(err)
+	}
+	sess := tel.AGW.Session(a.SessionID)
+	if sess.RANID != "x2-ue@enb2" || sess.IP != a.IP {
+		t.Fatalf("session after rebind: %+v", sess)
+	}
+	// The security context carries over: a protected detach through the
+	// new binding works (the UE's device still signs under the same
+	// context, only the transport path changed).
+	sub.Device.RANID = "x2-ue@enb2"
+	tx := tel.Transport("x2-ue@enb2")
+	if err := sub.Device.Detach(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Rebinding an inactive session fails.
+	if err := tel.AGW.RebindRAN(a.SessionID, "x2-ue@enb3"); err == nil {
+		t.Fatal("rebind of detached session accepted")
+	}
+}
+
+func TestProvisionLegacyAndBrokerWithConfig(t *testing.T) {
+	eco, err := NewEcosystem("misc-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := broker.DefaultConfig("broker.custom", nil, pki.PublicIdentity{})
+	cfg.MaxPricePerGB = 3.0
+	brk, err := eco.NewBrokerWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := NewDirectory()
+	dir.Add(brk)
+	tel, err := eco.NewBTelco(BTelcoConfig{ID: "cfg-cell", Brokers: dir, Terms: sap.ServiceTerms{PricePerGB: 9.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := brk.Subscribe("cfg-ue")
+	// The custom price cap denies the expensive cell.
+	if _, err := sub.Attach(tel); err == nil {
+		t.Fatal("price-capped broker granted an expensive cell")
+	}
+
+	// Legacy provisioning helper: the device authenticates against the
+	// SDB it was provisioned into.
+	db := epc.NewSubscriberDB()
+	dev, err := ProvisionLegacy(db, "001012223334444", "legacy-ue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agw := epc.NewAGW(epc.AGWConfig{Subscribers: sdbAdapter{db}})
+	tx := func(env []byte) ([]byte, error) { return agw.HandleNAS("legacy-ue", env) }
+	if _, err := dev.AttachLegacy(tx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type sdbAdapter struct{ db *epc.SubscriberDB }
+
+func (a sdbAdapter) AuthInfo(imsi string) (aka.Vector, error) { return a.db.AuthInfo(imsi) }
+func (a sdbAdapter) UpdateLocation(imsi string) (epc.SubscriberProfile, error) {
+	return a.db.UpdateLocation(imsi)
+}
+
+func TestBTelcoConfigValidation(t *testing.T) {
+	eco, _ := NewEcosystem("v-ca")
+	if _, err := eco.NewBTelco(BTelcoConfig{}); err == nil {
+		t.Fatal("bTelco without ID accepted")
+	}
+}

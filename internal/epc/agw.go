@@ -1,0 +1,596 @@
+package epc
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cellbricks/internal/aka"
+	"cellbricks/internal/billing"
+	"cellbricks/internal/nas"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/qos"
+	"cellbricks/internal/sap"
+)
+
+// SubscriberClient is the AGW's legacy northbound: the two S6A-style round
+// trips of the baseline attach.
+type SubscriberClient interface {
+	AuthInfo(imsi string) (aka.Vector, error)
+	UpdateLocation(imsi string) (SubscriberProfile, error)
+}
+
+// BrokerClient is the AGW's CellBricks northbound: the single SAP round
+// trip to the user's broker.
+type BrokerClient interface {
+	Authenticate(req *sap.AuthReqT) (*sap.AuthResp, error)
+}
+
+// BrokerDirectory resolves a broker identifier (from the UE's authReqU) to
+// a client and the broker's public identity. In deployment this is DNS +
+// WebPKI; here it is injected.
+type BrokerDirectory interface {
+	Lookup(idB string) (BrokerClient, pki.PublicIdentity, error)
+}
+
+// Instrument wraps module-level operations for latency accounting (the
+// Fig. 7 per-module breakdown). The default is pass-through.
+type Instrument func(module string, f func() error) error
+
+func passThrough(_ string, f func() error) error { return f() }
+
+// Instrumented module names used by the AGW.
+const (
+	ModuleAGW     = "agw"
+	ModuleSDB     = "sdb"
+	ModuleBrokerd = "brokerd"
+)
+
+// InterceptRecord is one user-plane event mirrored to the lawful-intercept
+// sink for sessions whose SAP grant carried the LI flag (the paper's
+// handover-interface hook: policy decided by the broker, mechanism
+// implemented by the bTelco).
+type InterceptRecord struct {
+	SessionID uint64
+	URef      string
+	IP        string
+	Dir       Direction
+	Bytes     int
+	At        time.Duration
+}
+
+// AGWConfig configures an access gateway.
+type AGWConfig struct {
+	// Telco enables the SAP flow when set: the AGW fronts this bTelco.
+	Telco *sap.TelcoState
+	// Subscribers enables the legacy flow when set.
+	Subscribers SubscriberClient
+	// Brokers resolves broker IDs for SAP requests.
+	Brokers BrokerDirectory
+	// Instrument wraps module operations; nil means pass-through.
+	Instrument Instrument
+	// IPPrefix seeds the address pool (default "10.45").
+	IPPrefix string
+	// Intercept receives mirrored user-plane events for LI-flagged
+	// sessions. Nil disables interception even when a grant requests it.
+	Intercept func(InterceptRecord)
+}
+
+// SessionKind distinguishes the two attach flows.
+type SessionKind int
+
+// Session kinds.
+const (
+	KindLegacy SessionKind = iota + 1
+	KindSAP
+)
+
+// sessionState is the control-plane FSM state.
+type sessionState int
+
+const (
+	stateAuthPending sessionState = iota + 1 // legacy: challenge sent
+	stateSMCPending                          // legacy: SMC sent
+	stateActive
+)
+
+// Session is the AGW-side record of one attachment.
+type Session struct {
+	ID     uint64
+	Kind   SessionKind
+	RANID  string
+	IMSI   string // legacy only
+	URef   string // SAP only: the broker's opaque UE reference
+	IDB    string // SAP only
+	IP     string
+	Ctx    *nas.SecurityContext
+	Bearer *Bearer
+
+	state       sessionState
+	pendingXRES []byte
+	pendingVec  aka.Vector
+	profile     SubscriberProfile
+	grant       *sap.Grant
+	brokerPub   pki.PublicIdentity
+	started     time.Duration
+	reportSeq   uint32
+}
+
+// AGW is the access gateway: NAS termination, attach FSMs for both
+// architectures, and the user plane.
+type AGW struct {
+	cfg  AGWConfig
+	ipam *IPAllocator
+	up   *UserPlane
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+	byRAN    map[string]*Session
+	nextSID  uint64
+
+	// Cumulative counters for orchestrator heartbeats.
+	attaches       uint64
+	attachFailures uint64
+	retiredUL      uint64
+	retiredDL      uint64
+}
+
+// NewAGW builds an access gateway.
+func NewAGW(cfg AGWConfig) *AGW {
+	if cfg.Instrument == nil {
+		cfg.Instrument = passThrough
+	}
+	if cfg.IPPrefix == "" {
+		cfg.IPPrefix = "10.45"
+	}
+	return &AGW{
+		cfg:      cfg,
+		ipam:     NewIPAllocator(cfg.IPPrefix),
+		up:       NewUserPlane(),
+		sessions: make(map[uint64]*Session),
+		byRAN:    make(map[string]*Session),
+	}
+}
+
+// UserPlane exposes the gateway's user plane.
+func (g *AGW) UserPlane() *UserPlane { return g.up }
+
+// Session returns a session by ID.
+func (g *AGW) Session(id uint64) *Session {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sessions[id]
+}
+
+// SessionByRAN returns the session attached under a RAN-level identifier.
+func (g *AGW) SessionByRAN(ranID string) *Session {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.byRAN[ranID]
+}
+
+// ActiveSessions counts sessions in the active state.
+func (g *AGW) ActiveSessions() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, s := range g.sessions {
+		if s.state == stateActive {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors from NAS handling.
+var (
+	ErrNoSession         = errors.New("epc: no session for RAN id")
+	ErrBadState          = errors.New("epc: message invalid in current state")
+	ErrAuthFailed        = errors.New("epc: authentication failed")
+	ErrFlowDisabled      = errors.New("epc: flow not enabled on this AGW")
+	ErrProtectedRequired = errors.New("epc: message must be security-protected")
+)
+
+// HandleNAS processes one uplink NAS message from the RAN identified by
+// ranID and returns the downlink reply. The envelope byte distinguishes
+// plain (0) from security-protected (1) transport.
+func (g *AGW) HandleNAS(ranID string, envelope []byte) ([]byte, error) {
+	if len(envelope) == 0 {
+		return nil, nas.ErrTooShort
+	}
+	protected := envelope[0] == 1
+	body := envelope[1:]
+
+	g.mu.Lock()
+	sess := g.byRAN[ranID]
+	g.mu.Unlock()
+
+	if protected {
+		if sess == nil || sess.Ctx == nil {
+			return nil, ErrNoSession
+		}
+		var pt []byte
+		err := g.cfg.Instrument(ModuleAGW, func() error {
+			var e error
+			pt, e = sess.Ctx.Unprotect(nas.Uplink, body)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		body = pt
+	}
+
+	msg, err := nas.Decode(body)
+	if err != nil {
+		return nil, err
+	}
+
+	switch m := msg.(type) {
+	case *nas.AttachRequestLegacy:
+		return g.handleLegacyAttach(ranID, m)
+	case *nas.AuthenticationResponse:
+		return g.handleAuthResponse(sess, m)
+	case *nas.SecurityModeComplete:
+		if !protected {
+			return nil, ErrProtectedRequired
+		}
+		return g.handleSMCComplete(sess)
+	case *nas.AttachRequestSAP:
+		return g.handleSAPAttach(ranID, m)
+	case *nas.SessionRequest:
+		if !protected {
+			return nil, ErrProtectedRequired
+		}
+		return g.handleSessionRequest(sess, m)
+	case *nas.DetachRequest:
+		if !protected {
+			return nil, ErrProtectedRequired
+		}
+		return g.handleDetach(sess, m)
+	default:
+		return nil, fmt.Errorf("epc: unexpected NAS message %T", msg)
+	}
+}
+
+func plain(m nas.Message) []byte { return append([]byte{0}, nas.Encode(m)...) }
+
+// reject counts a failed attach and produces the reject envelope.
+func (g *AGW) reject(cause string) []byte {
+	g.mu.Lock()
+	g.attachFailures++
+	g.mu.Unlock()
+	return plain(&nas.AttachReject{Cause: cause})
+}
+
+func (g *AGW) protectedReply(s *Session, m nas.Message) []byte {
+	return append([]byte{1}, s.Ctx.Protect(nas.Downlink, nas.Encode(m))...)
+}
+
+// --- legacy (baseline) attach: AIR -> challenge -> SMC -> ULR -> accept ---
+
+func (g *AGW) handleLegacyAttach(ranID string, m *nas.AttachRequestLegacy) ([]byte, error) {
+	if g.cfg.Subscribers == nil {
+		return nil, ErrFlowDisabled
+	}
+	var vec aka.Vector
+	err := g.cfg.Instrument(ModuleSDB, func() error {
+		var e error
+		vec, e = g.cfg.Subscribers.AuthInfo(m.IMSI)
+		return e
+	})
+	if err != nil {
+		return g.reject(err.Error()), nil
+	}
+	g.mu.Lock()
+	g.nextSID++
+	sess := &Session{
+		ID:          g.nextSID,
+		Kind:        KindLegacy,
+		RANID:       ranID,
+		IMSI:        m.IMSI,
+		state:       stateAuthPending,
+		pendingXRES: vec.XRES,
+		pendingVec:  vec,
+	}
+	g.sessions[sess.ID] = sess
+	g.byRAN[ranID] = sess
+	g.mu.Unlock()
+	return plain(&nas.AuthenticationRequest{RAND: vec.RAND, AUTN: vec.AUTN}), nil
+}
+
+func (g *AGW) handleAuthResponse(sess *Session, m *nas.AuthenticationResponse) ([]byte, error) {
+	if sess == nil {
+		return nil, ErrNoSession
+	}
+	if sess.state != stateAuthPending {
+		return nil, ErrBadState
+	}
+	var ok bool
+	g.cfg.Instrument(ModuleAGW, func() error {
+		ok = subtle.ConstantTimeCompare(m.RES, sess.pendingXRES) == 1
+		return nil
+	})
+	if !ok {
+		g.dropSession(sess)
+		return g.reject("RES mismatch"), nil
+	}
+	g.cfg.Instrument(ModuleAGW, func() error {
+		sess.Ctx = nas.NewSecurityContext(sess.pendingVec.KASME)
+		return nil
+	})
+	sess.state = stateSMCPending
+	return plain(&nas.SecurityModeCommand{CipherAlg: 2, IntegrityAlg: 2}), nil
+}
+
+func (g *AGW) handleSMCComplete(sess *Session) ([]byte, error) {
+	if sess == nil {
+		return nil, ErrNoSession
+	}
+	if sess.state != stateSMCPending {
+		return nil, ErrBadState
+	}
+	// Second S6A round trip: Update Location Request.
+	var profile SubscriberProfile
+	err := g.cfg.Instrument(ModuleSDB, func() error {
+		var e error
+		profile, e = g.cfg.Subscribers.UpdateLocation(sess.IMSI)
+		return e
+	})
+	if err != nil {
+		g.dropSession(sess)
+		return g.reject(err.Error()), nil
+	}
+	sess.profile = profile
+	accept, err := g.activate(sess, profile.QoS, nil)
+	if err != nil {
+		return nil, err
+	}
+	return g.protectedReply(sess, accept), nil
+}
+
+// --- CellBricks SAP attach: one broker round trip ---
+
+func (g *AGW) handleSAPAttach(ranID string, m *nas.AttachRequestSAP) ([]byte, error) {
+	if g.cfg.Telco == nil || g.cfg.Brokers == nil {
+		return nil, ErrFlowDisabled
+	}
+	reqU, err := sap.UnmarshalAuthReqU(m.AuthReqU)
+	if err != nil {
+		return nil, err
+	}
+	var reqT *sap.AuthReqT
+	if err := g.cfg.Instrument(ModuleAGW, func() error {
+		var e error
+		reqT, e = g.cfg.Telco.ForwardRequest(reqU)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	client, brokerPub, err := g.cfg.Brokers.Lookup(m.BrokerID)
+	if err != nil {
+		return g.reject("unknown broker: " + m.BrokerID), nil
+	}
+	var resp *sap.AuthResp
+	if err := g.cfg.Instrument(ModuleBrokerd, func() error {
+		var e error
+		resp, e = client.Authenticate(reqT)
+		return e
+	}); err != nil {
+		return g.reject(err.Error()), nil
+	}
+	var grant *sap.Grant
+	var respU *sap.AuthRespU
+	if err := g.cfg.Instrument(ModuleAGW, func() error {
+		var e error
+		grant, respU, e = g.cfg.Telco.HandleResponse(brokerPub, resp)
+		return e
+	}); err != nil {
+		return g.reject(err.Error()), nil
+	}
+
+	g.mu.Lock()
+	g.nextSID++
+	sess := &Session{
+		ID:        g.nextSID,
+		Kind:      KindSAP,
+		RANID:     ranID,
+		URef:      grant.URef,
+		IDB:       m.BrokerID,
+		grant:     grant,
+		brokerPub: brokerPub,
+	}
+	g.sessions[sess.ID] = sess
+	g.byRAN[ranID] = sess
+	g.mu.Unlock()
+
+	// ss seeds the NAS security context exactly as KASME would (SMC key
+	// derivation); the SMC exchange itself is folded into attach accept in
+	// SAP since both sides already hold ss.
+	g.cfg.Instrument(ModuleAGW, func() error {
+		sess.Ctx = nas.NewSecurityContext(grant.SS)
+		return nil
+	})
+	accept, err := g.activate(sess, grant.Params, respU)
+	if err != nil {
+		return nil, err
+	}
+	// The accept itself carries authRespU; it cannot be protected before
+	// the UE has validated the response and installed ss, so it rides
+	// plain — its payload is broker-signed and sealed to the UE.
+	return plain(accept), nil
+}
+
+// activate allocates the IP and bearer and builds the AttachAccept.
+func (g *AGW) activate(sess *Session, params qos.Params, respU *sap.AuthRespU) (*nas.AttachAccept, error) {
+	ip, err := g.ipam.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	g.attaches++
+	g.mu.Unlock()
+	sess.IP = ip
+	sess.Bearer = g.up.CreateBearer(sess.ID, ip, params)
+	sess.state = stateActive
+	if sess.Kind == KindSAP && sess.grant != nil && sess.grant.LI && g.cfg.Intercept != nil {
+		sink := g.cfg.Intercept
+		id, uref, uip := sess.ID, sess.URef, ip
+		sess.Bearer.Tap = func(now time.Duration, dir Direction, size int) {
+			sink(InterceptRecord{SessionID: id, URef: uref, IP: uip, Dir: dir, Bytes: size, At: now})
+		}
+	}
+	accept := &nas.AttachAccept{
+		SessionID: sess.ID,
+		IP:        ip,
+		BearerID:  sess.Bearer.BearerID,
+		QCI:       byte(params.QCI),
+		DLAmbrBps: params.DLAmbrBps,
+		ULAmbrBps: params.ULAmbrBps,
+	}
+	if respU != nil {
+		accept.AuthRespU = respU.Marshal()
+	}
+	return accept, nil
+}
+
+// handleSessionRequest provisions a dedicated bearer for an additional
+// traffic class, within the QoS bounds of the attachment (the SAP grant
+// for CellBricks sessions, the subscription profile for legacy ones).
+func (g *AGW) handleSessionRequest(sess *Session, m *nas.SessionRequest) ([]byte, error) {
+	if sess == nil {
+		return nil, ErrNoSession
+	}
+	if sess.state != stateActive || sess.ID != m.SessionID {
+		return nil, ErrBadState
+	}
+	want := qos.Params{QCI: qos.QCI(m.QCI), DLAmbrBps: sess.Bearer.Params.DLAmbrBps, ULAmbrBps: sess.Bearer.Params.ULAmbrBps}
+	if sess.Kind == KindSAP {
+		// The bTelco may only provision classes it advertised — and, for
+		// GBR classes, only with broker-granted authority: here the
+		// original grant's capability check stands in for a re-negotiation.
+		if err := want.Validate(g.cfg.Telco.Terms.Cap); err != nil {
+			return g.protectedReply(sess, &nas.AttachReject{Cause: err.Error()}), nil
+		}
+	} else if _, ok := qos.Lookup(want.QCI); !ok {
+		return g.protectedReply(sess, &nas.AttachReject{Cause: "unknown QCI"}), nil
+	}
+	b, ok := g.up.CreateDedicatedBearer(sess.IP, want)
+	if !ok {
+		return nil, ErrBadState
+	}
+	return g.protectedReply(sess, &nas.SessionAccept{SessionID: sess.ID, BearerID: b.BearerID, QCI: m.QCI}), nil
+}
+
+func (g *AGW) handleDetach(sess *Session, m *nas.DetachRequest) ([]byte, error) {
+	if sess == nil {
+		return nil, ErrNoSession
+	}
+	if sess.ID != m.SessionID {
+		return nil, fmt.Errorf("epc: detach for session %d on session %d", m.SessionID, sess.ID)
+	}
+	reply := g.protectedReply(sess, &nas.DetachAccept{SessionID: sess.ID})
+	g.dropSession(sess)
+	return reply, nil
+}
+
+func (g *AGW) dropSession(sess *Session) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if sess.IP != "" {
+		if u, ok := g.up.TotalUsage(sess.IP); ok {
+			g.retiredUL += u.ULBytes
+			g.retiredDL += u.DLBytes
+		}
+		g.up.DeleteBearer(sess.IP)
+		g.ipam.Release(sess.IP)
+	}
+	delete(g.sessions, sess.ID)
+	if g.byRAN[sess.RANID] == sess {
+		delete(g.byRAN, sess.RANID)
+	}
+}
+
+// RebindRAN migrates an active session to a new RAN-level identifier —
+// the X2-style network-driven handover of the *baseline* architecture:
+// the UE moved to another eNodeB of the same operator, the core keeps the
+// session, bearers, IP address and security context, and only the radio
+// binding changes. CellBricks deliberately does not use this path
+// (handover = detach + SAP re-attach), but the baseline needs it.
+func (g *AGW) RebindRAN(sessionID uint64, newRanID string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sess, ok := g.sessions[sessionID]
+	if !ok || sess.state != stateActive {
+		return ErrBadState
+	}
+	if cur, busy := g.byRAN[newRanID]; busy && cur != sess {
+		return fmt.Errorf("epc: RAN id %q already bound to session %d", newRanID, cur.ID)
+	}
+	if g.byRAN[sess.RANID] == sess {
+		delete(g.byRAN, sess.RANID)
+	}
+	sess.RANID = newRanID
+	g.byRAN[newRanID] = sess
+	return nil
+}
+
+// AGWStats is a snapshot of the gateway's cumulative counters for
+// orchestrator heartbeats.
+type AGWStats struct {
+	ActiveSessions int
+	Attaches       uint64
+	AttachFailures uint64
+	ULBytes        uint64
+	DLBytes        uint64
+}
+
+// Stats snapshots the gateway's counters: live bearer usage plus retired
+// sessions.
+func (g *AGW) Stats() AGWStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := AGWStats{
+		Attaches:       g.attaches,
+		AttachFailures: g.attachFailures,
+		ULBytes:        g.retiredUL,
+		DLBytes:        g.retiredDL,
+	}
+	for _, sess := range g.sessions {
+		if sess.state != stateActive {
+			continue
+		}
+		st.ActiveSessions++
+		if u, ok := g.up.TotalUsage(sess.IP); ok {
+			st.ULBytes += u.ULBytes
+			st.DLBytes += u.DLBytes
+		}
+	}
+	return st
+}
+
+// GenerateReport builds the bTelco-side traffic report for a SAP session
+// from the user-plane counters, signed with the bTelco key and sealed to
+// the session's broker. rel is the relative timestamp within the session.
+func (g *AGW) GenerateReport(sessionID uint64, rel time.Duration, m billing.QoSMetrics) (*billing.SealedReport, error) {
+	g.mu.Lock()
+	sess := g.sessions[sessionID]
+	g.mu.Unlock()
+	if sess == nil || sess.Kind != KindSAP {
+		return nil, ErrNoSession
+	}
+	u, _ := g.up.TotalUsage(sess.IP)
+	sess.reportSeq++
+	r := &billing.Report{
+		SessionRef: sess.URef,
+		Reporter:   billing.ReporterTelco,
+		Seq:        sess.reportSeq,
+		Rel:        rel,
+		ULBytes:    u.ULBytes,
+		DLBytes:    u.DLBytes,
+		QoS:        m,
+	}
+	return billing.Seal(r, g.cfg.Telco.Key, sess.brokerPub)
+}

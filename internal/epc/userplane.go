@@ -1,0 +1,229 @@
+package epc
+
+import (
+	"sync"
+	"time"
+
+	"cellbricks/internal/qos"
+)
+
+// Direction of user-plane traffic relative to the UE.
+type Direction int
+
+// Direction values.
+const (
+	Downlink Direction = iota
+	Uplink
+)
+
+// Usage is a snapshot of a bearer's counters — the measurements the bTelco
+// side of the verifiable-billing protocol reports (PGW counters in 4G /
+// UPF in 5G terms).
+type Usage struct {
+	ULBytes   uint64
+	DLBytes   uint64
+	ULPackets uint64
+	DLPackets uint64
+	ULDropped uint64
+	DLDropped uint64
+}
+
+// Bearer is one provisioned tunnel: the UE's IP, its QoS parameters, the
+// policing state, and usage counters.
+type Bearer struct {
+	SessionID uint64
+	BearerID  uint32
+	IP        string
+	Params    qos.Params
+	// Tap mirrors admitted packets to a lawful-intercept sink when set.
+	Tap func(now time.Duration, dir Direction, size int)
+
+	mu      sync.Mutex
+	usage   Usage
+	ulState policerState
+	dlState policerState
+}
+
+// policerState is a token bucket for AMBR enforcement.
+type policerState struct {
+	started bool
+	tokens  float64
+	last    time.Duration
+}
+
+// burstSeconds is the policer burst allowance, expressed in seconds at the
+// configured rate.
+const burstSeconds = 0.2
+
+// police runs the token bucket at rateBps; returns false to drop.
+func (p *policerState) police(now time.Duration, size int, rateBps float64) bool {
+	if rateBps <= 0 {
+		return true // unlimited
+	}
+	bytesPerSec := rateBps / 8
+	if !p.started {
+		// A fresh bearer starts with a full burst allowance.
+		p.started = true
+		p.tokens = bytesPerSec * burstSeconds
+		p.last = now
+	}
+	if now > p.last {
+		p.tokens += (now - p.last).Seconds() * bytesPerSec
+		p.last = now
+		if max := bytesPerSec * burstSeconds; p.tokens > max {
+			p.tokens = max
+		}
+	}
+	if p.tokens >= float64(size) {
+		p.tokens -= float64(size)
+		return true
+	}
+	return false
+}
+
+// Process accounts one packet and applies AMBR policing; it reports
+// whether the packet may pass. now is virtual or wall time from session
+// start — only differences matter.
+func (b *Bearer) Process(now time.Duration, dir Direction, size int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch dir {
+	case Uplink:
+		if !b.ulState.police(now, size, float64(b.Params.ULAmbrBps)) {
+			b.usage.ULDropped++
+			return false
+		}
+		b.usage.ULBytes += uint64(size)
+		b.usage.ULPackets++
+	default:
+		if !b.dlState.police(now, size, float64(b.Params.DLAmbrBps)) {
+			b.usage.DLDropped++
+			return false
+		}
+		b.usage.DLBytes += uint64(size)
+		b.usage.DLPackets++
+	}
+	if b.Tap != nil {
+		b.Tap(now, dir, size)
+	}
+	return true
+}
+
+// Usage returns a snapshot of the counters.
+func (b *Bearer) Usage() Usage {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.usage
+}
+
+// bearerSet is one UE's default bearer plus any dedicated bearers, keyed
+// by QCI (traffic classification in this model is by QoS class).
+type bearerSet struct {
+	def       *Bearer
+	dedicated map[qos.QCI]*Bearer
+}
+
+// UserPlane is the packet-gateway function: bearer sets indexed by UE IP.
+type UserPlane struct {
+	mu      sync.Mutex
+	byIP    map[string]*bearerSet
+	nextBID uint32
+}
+
+// NewUserPlane creates an empty user plane.
+func NewUserPlane() *UserPlane {
+	return &UserPlane{byIP: make(map[string]*bearerSet)}
+}
+
+// CreateBearer provisions the default bearer for a session.
+func (up *UserPlane) CreateBearer(sessionID uint64, ip string, params qos.Params) *Bearer {
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	up.nextBID++
+	b := &Bearer{SessionID: sessionID, BearerID: up.nextBID, IP: ip, Params: params}
+	up.byIP[ip] = &bearerSet{def: b, dedicated: make(map[qos.QCI]*Bearer)}
+	return b
+}
+
+// CreateDedicatedBearer provisions an additional bearer for one traffic
+// class on an existing session (the EPS dedicated-bearer concept: e.g. a
+// GBR voice bearer beside the default best-effort bearer).
+func (up *UserPlane) CreateDedicatedBearer(ip string, params qos.Params) (*Bearer, bool) {
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	set, ok := up.byIP[ip]
+	if !ok {
+		return nil, false
+	}
+	up.nextBID++
+	b := &Bearer{SessionID: set.def.SessionID, BearerID: up.nextBID, IP: ip, Params: params}
+	set.dedicated[params.QCI] = b
+	return b, true
+}
+
+// Lookup finds the default bearer for a UE IP.
+func (up *UserPlane) Lookup(ip string) *Bearer {
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	if set, ok := up.byIP[ip]; ok {
+		return set.def
+	}
+	return nil
+}
+
+// Classify routes a packet of the given QoS class to its bearer: the
+// dedicated bearer for that QCI when one exists, else the default.
+func (up *UserPlane) Classify(ip string, q qos.QCI) *Bearer {
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	set, ok := up.byIP[ip]
+	if !ok {
+		return nil
+	}
+	if b, ok := set.dedicated[q]; ok {
+		return b
+	}
+	return set.def
+}
+
+// DeleteBearer removes a session's bearer set at detach, returning the
+// default bearer's final usage for the closing traffic report.
+func (up *UserPlane) DeleteBearer(ip string) (Usage, bool) {
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	set, ok := up.byIP[ip]
+	if !ok {
+		return Usage{}, false
+	}
+	delete(up.byIP, ip)
+	return set.def.Usage(), true
+}
+
+// TotalUsage sums usage across a session's default and dedicated bearers
+// (what the bTelco reports for billing).
+func (up *UserPlane) TotalUsage(ip string) (Usage, bool) {
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	set, ok := up.byIP[ip]
+	if !ok {
+		return Usage{}, false
+	}
+	u := set.def.Usage()
+	for _, b := range set.dedicated {
+		du := b.Usage()
+		u.ULBytes += du.ULBytes
+		u.DLBytes += du.DLBytes
+		u.ULPackets += du.ULPackets
+		u.DLPackets += du.DLPackets
+		u.ULDropped += du.ULDropped
+		u.DLDropped += du.DLDropped
+	}
+	return u, true
+}
+
+// Count reports the number of live sessions.
+func (up *UserPlane) Count() int {
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	return len(up.byIP)
+}

@@ -1,0 +1,80 @@
+// Package nas implements the Non-Access-Stratum security machinery that
+// CellBricks reuses unmodified from the EPS standard (§4.1): a
+// KASME-rooted key hierarchy, the security-mode-control (SMC) context with
+// NAS uplink/downlink counters, and integrity-protected + ciphered NAS
+// message framing.
+//
+// In EPS the master key KASME comes out of the AKA procedure; in
+// CellBricks the broker-issued shared secret ss plays exactly the same
+// role — "the shared secret ss is used as the master key (also known as
+// KASME) in the security mode control procedures to derive keys for
+// ciphering and integrity protection".
+//
+// Algorithms are stdlib stand-ins for the 3GPP EEA/EIA suites:
+// AES-128-CTR for ciphering (EEA2 is AES-CTR in the standard, too) and
+// HMAC-SHA256/4-byte MAC for integrity.
+package nas
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// KeySize is the size of every derived key in bytes.
+const KeySize = 16
+
+// MasterKeySize is the size of KASME.
+const MasterKeySize = 32
+
+// Key identifies one derived key in the hierarchy.
+type Key [KeySize]byte
+
+// MasterKey is KASME (or the SAP shared secret ss).
+type MasterKey [MasterKeySize]byte
+
+// Hierarchy holds the keys derived from KASME per the EPS key hierarchy:
+// NAS encryption and integrity keys for UE<->core signalling, and K_eNB
+// from which the AS (radio) keys derive.
+type Hierarchy struct {
+	KNASEnc Key
+	KNASInt Key
+	KENB    Key
+	KRRCEnc Key
+	KRRCInt Key
+	KUPEnc  Key
+}
+
+// kdf is the 3GPP-style KDF: HMAC-SHA256(key, FC || P0 || L0 ...),
+// simplified to a labelled derivation.
+func kdf(key []byte, label string, ctx []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte{0x15}) // FC byte, arbitrary but fixed
+	mac.Write([]byte(label))
+	mac.Write([]byte{0x00})
+	mac.Write(ctx)
+	return mac.Sum(nil)
+}
+
+func truncKey(b []byte) (k Key) {
+	copy(k[:], b[:KeySize])
+	return k
+}
+
+// DeriveHierarchy derives the full key hierarchy from the master key. The
+// ulCount parameter binds K_eNB to the NAS uplink count at derivation time
+// as the standard does, preventing key-stream reuse across re-attachments
+// with the same master key.
+func DeriveHierarchy(master MasterKey, ulCount uint32) Hierarchy {
+	var cnt [4]byte
+	binary.BigEndian.PutUint32(cnt[:], ulCount)
+	kenb := kdf(master[:], "KeNB", cnt[:])
+	return Hierarchy{
+		KNASEnc: truncKey(kdf(master[:], "KNASenc", nil)),
+		KNASInt: truncKey(kdf(master[:], "KNASint", nil)),
+		KENB:    truncKey(kenb),
+		KRRCEnc: truncKey(kdf(kenb, "KRRCenc", nil)),
+		KRRCInt: truncKey(kdf(kenb, "KRRCint", nil)),
+		KUPEnc:  truncKey(kdf(kenb, "KUPenc", nil)),
+	}
+}

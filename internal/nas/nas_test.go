@@ -1,0 +1,250 @@
+package nas
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func testMaster(b byte) MasterKey {
+	var m MasterKey
+	for i := range m {
+		m[i] = b
+	}
+	return m
+}
+
+func TestDeriveHierarchyDeterministic(t *testing.T) {
+	a := DeriveHierarchy(testMaster(1), 0)
+	b := DeriveHierarchy(testMaster(1), 0)
+	if a != b {
+		t.Fatal("same master derived different hierarchies")
+	}
+}
+
+func TestDeriveHierarchyDistinctKeys(t *testing.T) {
+	h := DeriveHierarchy(testMaster(2), 0)
+	keys := [][]byte{h.KNASEnc[:], h.KNASInt[:], h.KENB[:], h.KRRCEnc[:], h.KRRCInt[:], h.KUPEnc[:]}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if bytes.Equal(keys[i], keys[j]) {
+				t.Fatalf("derived keys %d and %d are equal", i, j)
+			}
+		}
+	}
+}
+
+func TestDeriveHierarchyCountBinding(t *testing.T) {
+	a := DeriveHierarchy(testMaster(3), 0)
+	b := DeriveHierarchy(testMaster(3), 1)
+	if a.KENB == b.KENB {
+		t.Fatal("K_eNB not bound to NAS count")
+	}
+	if a.KNASEnc != b.KNASEnc {
+		t.Fatal("NAS keys should not depend on count")
+	}
+}
+
+func TestProtectUnprotectRoundTrip(t *testing.T) {
+	ue := NewSecurityContext(testMaster(4))
+	net := NewSecurityContext(testMaster(4))
+	msg := []byte("attach complete")
+	wire := ue.Protect(Uplink, msg)
+	got, err := net.Unprotect(Uplink, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("roundtrip mismatch: %q", got)
+	}
+	// And downlink.
+	wire2 := net.Protect(Downlink, []byte("accept"))
+	got2, err := ue.Unprotect(Downlink, wire2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != "accept" {
+		t.Fatalf("downlink mismatch: %q", got2)
+	}
+}
+
+func TestProtectCiphersPayload(t *testing.T) {
+	c := NewSecurityContext(testMaster(5))
+	msg := []byte("this is supposed to be confidential information")
+	wire := c.Protect(Uplink, msg)
+	if bytes.Contains(wire, msg) {
+		t.Fatal("payload appears in cleartext on the wire")
+	}
+}
+
+func TestUnprotectRejectsTamper(t *testing.T) {
+	a := NewSecurityContext(testMaster(6))
+	b := NewSecurityContext(testMaster(6))
+	wire := a.Protect(Uplink, []byte("hello"))
+	wire[len(wire)-1] ^= 1
+	if _, err := b.Unprotect(Uplink, wire); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tampered MAC: err=%v, want ErrIntegrity", err)
+	}
+	wire2 := a.Protect(Uplink, []byte("hello"))
+	wire2[6] ^= 1 // ciphertext byte
+	if _, err := b.Unprotect(Uplink, wire2); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tampered ciphertext: err=%v, want ErrIntegrity", err)
+	}
+}
+
+func TestUnprotectRejectsReplay(t *testing.T) {
+	a := NewSecurityContext(testMaster(7))
+	b := NewSecurityContext(testMaster(7))
+	w1 := a.Protect(Uplink, []byte("one"))
+	w2 := a.Protect(Uplink, []byte("two"))
+	if _, err := b.Unprotect(Uplink, w1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Unprotect(Uplink, w1); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay: err=%v, want ErrReplay", err)
+	}
+	if _, err := b.Unprotect(Uplink, w2); err != nil {
+		t.Fatalf("in-order message rejected: %v", err)
+	}
+}
+
+func TestUnprotectWrongKey(t *testing.T) {
+	a := NewSecurityContext(testMaster(8))
+	b := NewSecurityContext(testMaster(9))
+	wire := a.Protect(Uplink, []byte("x"))
+	if _, err := b.Unprotect(Uplink, wire); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("wrong key: err=%v, want ErrIntegrity", err)
+	}
+}
+
+func TestUnprotectDirectionMismatch(t *testing.T) {
+	a := NewSecurityContext(testMaster(10))
+	b := NewSecurityContext(testMaster(10))
+	wire := a.Protect(Uplink, []byte("x"))
+	if _, err := b.Unprotect(Downlink, wire); err == nil {
+		t.Fatal("direction mismatch accepted")
+	}
+}
+
+func TestDirectionsIndependentKeystream(t *testing.T) {
+	a := NewSecurityContext(testMaster(11))
+	msg := bytes.Repeat([]byte{0}, 64)
+	up := a.Protect(Uplink, msg)
+	down := a.Protect(Downlink, msg)
+	// With zero plaintext, the ciphertext *is* the keystream.
+	if bytes.Equal(up[5:len(up)-MACSize], down[5:len(down)-MACSize]) {
+		t.Fatal("uplink and downlink share keystream")
+	}
+}
+
+func TestUnprotectShort(t *testing.T) {
+	c := NewSecurityContext(testMaster(12))
+	if _, err := c.Unprotect(Uplink, []byte{1, 2, 3}); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("short: err=%v", err)
+	}
+}
+
+func allMessages() []Message {
+	return []Message{
+		&AttachRequestLegacy{IMSI: "001010000000001", Capabilities: 7},
+		&AuthenticationRequest{RAND: [16]byte{1, 2, 3}, AUTN: []byte{9, 8, 7}},
+		&AuthenticationResponse{RES: []byte{4, 5, 6, 7}},
+		&SecurityModeCommand{CipherAlg: 2, IntegrityAlg: 2, ReplayedCaps: 7},
+		&SecurityModeComplete{},
+		&AttachRequestSAP{BrokerID: "broker.example", AuthReqU: []byte("sealed-blob")},
+		&AttachAccept{SessionID: 99, IP: "10.1.2.3", BearerID: 5, QCI: 9, DLAmbrBps: 20e6, ULAmbrBps: 5e6, AuthRespU: []byte("resp")},
+		&AttachReject{Cause: "authorization denied"},
+		&DetachRequest{SessionID: 99},
+		&DetachAccept{SessionID: 99},
+		&SessionRequest{SessionID: 99, APN: "internet", QCI: 8},
+		&SessionAccept{SessionID: 99, BearerID: 6, QCI: 8},
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	for _, m := range allMessages() {
+		wire := Encode(m)
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%T roundtrip mismatch:\n in: %+v\nout: %+v", m, m, got)
+		}
+	}
+}
+
+func TestMessageTypesUnique(t *testing.T) {
+	seen := map[byte]string{}
+	for _, m := range allMessages() {
+		ty := m.Type()
+		name := reflect.TypeOf(m).String()
+		if prev, dup := seen[ty]; dup {
+			t.Fatalf("type byte %d shared by %s and %s", ty, prev, name)
+		}
+		seen[ty] = name
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty decode accepted")
+	}
+	if _, err := Decode([]byte{0xFF}); !errors.Is(err, ErrUnknownMessage) {
+		t.Fatalf("unknown type: err=%v", err)
+	}
+	// Truncated body.
+	wire := Encode(&AttachAccept{SessionID: 1, IP: "10.0.0.1"})
+	if _, err := Decode(wire[:len(wire)-3]); err == nil {
+		t.Fatal("truncated decode accepted")
+	}
+	// Trailing garbage.
+	if _, err := Decode(append(wire, 0xAB)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// Property: protect/unprotect round-trips arbitrary payloads through a
+// pair of synchronized contexts.
+func TestPropertyProtectRoundTrip(t *testing.T) {
+	a := NewSecurityContext(testMaster(20))
+	b := NewSecurityContext(testMaster(20))
+	f := func(payload []byte, dirBit bool) bool {
+		dir := Uplink
+		if dirBit {
+			dir = Downlink
+		}
+		var tx, rx *SecurityContext
+		if dir == Uplink {
+			tx, rx = a, b
+		} else {
+			tx, rx = b, a
+		}
+		// Symmetric contexts: our "b" context plays the network, which
+		// sends downlink and receives uplink.
+		wire := tx.Protect(dir, payload)
+		got, err := rx.Unprotect(dir, wire)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: codec round-trips arbitrary SAP attach payloads.
+func TestPropertySAPAttachCodec(t *testing.T) {
+	f := func(broker string, blob []byte) bool {
+		m := &AttachRequestSAP{BrokerID: broker, AuthReqU: blob}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		g := got.(*AttachRequestSAP)
+		return g.BrokerID == broker && bytes.Equal(g.AuthReqU, blob)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+package netem
+
+import (
+	"time"
+)
+
+// Packet is the unit of transfer in the emulator. Payload is opaque to the
+// network; Size (bytes, including notional headers) is what the link-level
+// serialization and shaping act on.
+type Packet struct {
+	Src, Dst string // IP-like endpoint identifiers
+	Size     int    // wire size in bytes
+	Payload  any
+}
+
+// RateFunc returns the shaping rate in bits/second at virtual time t.
+// A nil RateFunc means "unshaped".
+type RateFunc func(t time.Duration) float64
+
+// Shaper models an operator bottleneck: a token-bucket policer whose rate
+// may vary with (virtual) time of day, with a finite drop-tail queue. This
+// reproduces the bimodal day/night throughput the paper measures on
+// T-Mobile (Appendix A).
+type Shaper struct {
+	Rate        RateFunc
+	BucketBytes float64 // burst allowance
+	// MaxQueueBytes bounds the queue in bytes (used when MaxQueueTime is
+	// zero).
+	MaxQueueBytes int
+	// MaxQueueTime bounds the queue by sojourn time instead — the
+	// behaviour of deployed AQM and a bound that self-scales when the
+	// policed rate varies with time of day.
+	MaxQueueTime time.Duration
+
+	busyUntil time.Duration // virtual clock: when the policed wire frees up
+}
+
+// NewShaper builds a shaper with the given rate schedule. burst and queue
+// are in bytes; sensible defaults are applied when zero.
+func NewShaper(rate RateFunc, burstBytes, queueBytes int) *Shaper {
+	if burstBytes <= 0 {
+		burstBytes = 32 * 1024
+	}
+	if queueBytes <= 0 {
+		queueBytes = 256 * 1024
+	}
+	return &Shaper{
+		Rate:          rate,
+		BucketBytes:   float64(burstBytes),
+		MaxQueueBytes: queueBytes,
+	}
+}
+
+// admit decides the extra queueing delay a packet experiences at the
+// shaper, or reports drop=true when the queue is full. It mutates shaper
+// state, so call exactly once per packet in arrival order.
+//
+// The implementation is a virtual-clock shaper: busyUntil tracks when the
+// policed "wire" next frees up; a packet's delay is its finish time minus
+// now. Idle periods earn at most BucketBytes of burst credit.
+func (sh *Shaper) admit(now time.Duration, size int) (delay time.Duration, drop bool) {
+	if sh == nil || sh.Rate == nil {
+		return 0, false
+	}
+	rate := sh.Rate(now) // bits per second
+	if rate <= 0 {
+		return 0, true
+	}
+	bytesPerSec := rate / 8
+
+	// Burst credit: after idling, the virtual clock may lag `now` by at
+	// most the time it takes to send BucketBytes at the policed rate.
+	burstTime := time.Duration(sh.BucketBytes / bytesPerSec * float64(time.Second))
+	if sh.busyUntil < now-burstTime {
+		sh.busyUntil = now - burstTime
+	}
+
+	// Drop bound expressed as queued time.
+	maxQueueTime := sh.MaxQueueTime
+	if maxQueueTime == 0 {
+		maxQueueTime = time.Duration(float64(sh.MaxQueueBytes) / bytesPerSec * float64(time.Second))
+	}
+	if sh.busyUntil-now > maxQueueTime {
+		return 0, true
+	}
+
+	txTime := time.Duration(float64(size) / bytesPerSec * float64(time.Second))
+	sh.busyUntil += txTime
+	if sh.busyUntil <= now {
+		return 0, false
+	}
+	return sh.busyUntil - now, false
+}
+
+// Link is a bidirectional path segment between two endpoint identifiers.
+// Delay/Jitter are one-way propagation terms; Loss is an independent drop
+// probability per packet; BandwidthBps is the physical serialization rate
+// (0 = infinite); Shapers, if set, police each direction (A->B and B->A
+// share one shaper here because cellular last-mile policing in the paper
+// is per-subscriber, not per-direction-distinct; set both if needed).
+type Link struct {
+	Delay        time.Duration
+	Jitter       time.Duration
+	Loss         float64 // 0..1
+	BandwidthBps float64
+	// MaxQueue bounds the serialization queue as a time budget: a packet
+	// that would wait longer than this for the wire is dropped
+	// (drop-tail). Zero selects the 100 ms default — without a bound,
+	// TCP senders bloat the buffer indefinitely.
+	MaxQueue time.Duration
+	ShaperAB *Shaper // shaping for a->b (a = lexicographically smaller)
+	ShaperBA *Shaper
+
+	// Up reports whether the link can carry traffic. A down link drops
+	// every packet (used to model detachment between bTelcos).
+	Down bool
+	// PausedUntil buffers rather than drops: packets sent before this
+	// instant are held and released afterwards, preserving order — the
+	// behaviour of an LTE handover with data forwarding to the target
+	// eNodeB (make-before-break).
+	PausedUntil time.Duration
+	// Transit, when set, sees every packet before shaping and may drop it
+	// (return false) — the hook that puts an in-path middlebox such as
+	// the AGW user plane (bearer accounting + AMBR policing) on the
+	// emulated path.
+	Transit func(pkt *Packet, at time.Duration) bool
+
+	nextFreeAB time.Duration
+	nextFreeBA time.Duration
+	lastArrAB  time.Duration
+	lastArrBA  time.Duration
+
+	stats LinkStats
+}
+
+// LinkStats counts a link's traffic for observability (a tcpdump-grade
+// view of the emulation).
+type LinkStats struct {
+	Sent         uint64
+	SentBytes    uint64
+	DroppedLoss  uint64
+	DroppedQueue uint64
+	DroppedDown  uint64
+}
+
+// Stats returns a snapshot of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Register installs the receive handler for an endpoint identifier.
+// Re-registering replaces the previous handler (used when a UE's address
+// changes).
+func (s *Sim) Register(ip string, fn func(*Packet)) {
+	if fn == nil {
+		delete(s.handlers, ip)
+		return
+	}
+	s.handlers[ip] = fn
+}
+
+// Unregister removes an endpoint. In-flight packets to it are dropped on
+// arrival, modelling an invalidated address.
+func (s *Sim) Unregister(ip string) { delete(s.handlers, ip) }
+
+// Connect installs a link between two endpoints (order-insensitive).
+func (s *Sim) Connect(a, b string, l *Link) {
+	s.paths[orderedKey(a, b)] = l
+}
+
+// Disconnect removes the link between two endpoints.
+func (s *Sim) Disconnect(a, b string) {
+	delete(s.paths, orderedKey(a, b))
+}
+
+// LinkBetween returns the installed link, or nil.
+func (s *Sim) LinkBetween(a, b string) *Link {
+	return s.paths[orderedKey(a, b)]
+}
+
+// Send transmits a packet from pkt.Src to pkt.Dst across the installed
+// link, applying loss, shaping, serialization and propagation delay. It
+// reports whether the packet was admitted (false = dropped immediately;
+// packets can also be dropped silently at delivery if the destination has
+// unregistered).
+func (s *Sim) Send(pkt *Packet) bool {
+	l := s.LinkBetween(pkt.Src, pkt.Dst)
+	if l == nil {
+		return false
+	}
+	if l.Down {
+		l.stats.DroppedDown++
+		return false
+	}
+	if l.Loss > 0 && s.rng.Float64() < l.Loss {
+		l.stats.DroppedLoss++
+		return false
+	}
+	if l.Transit != nil && !l.Transit(pkt, s.now) {
+		l.stats.DroppedQueue++
+		return false
+	}
+
+	forward := orderedKey(pkt.Src, pkt.Dst).a == pkt.Src
+	var shaper *Shaper
+	if forward {
+		shaper = l.ShaperAB
+	} else {
+		shaper = l.ShaperBA
+	}
+	shapeDelay, drop := shaper.admit(s.now, pkt.Size)
+	if drop {
+		l.stats.DroppedQueue++
+		return false
+	}
+
+	var txTime time.Duration
+	if l.BandwidthBps > 0 {
+		txTime = time.Duration(float64(pkt.Size) * 8 / l.BandwidthBps * float64(time.Second))
+		var nextFree *time.Duration
+		if forward {
+			nextFree = &l.nextFreeAB
+		} else {
+			nextFree = &l.nextFreeBA
+		}
+		start := s.now + shapeDelay
+		if *nextFree > start {
+			start = *nextFree
+		}
+		maxQueue := l.MaxQueue
+		if maxQueue == 0 {
+			maxQueue = 100 * time.Millisecond
+		}
+		if start-s.now > maxQueue {
+			l.stats.DroppedQueue++
+			return false // drop-tail: queue budget exceeded
+		}
+		*nextFree = start + txTime
+		shapeDelay = *nextFree - s.now
+		txTime = 0 // already folded into shapeDelay
+	}
+
+	delay := l.Delay + shapeDelay + txTime
+	if l.Jitter > 0 {
+		delay += time.Duration(s.rng.Float64() * float64(l.Jitter))
+	}
+	// Preserve FIFO ordering within a direction: real links delay-vary
+	// but do not reorder back-to-back packets, and transports read
+	// reordering as loss.
+	arrival := s.now + delay
+	if l.PausedUntil > arrival {
+		arrival = l.PausedUntil
+	}
+	var lastArr *time.Duration
+	if forward {
+		lastArr = &l.lastArrAB
+	} else {
+		lastArr = &l.lastArrBA
+	}
+	if arrival < *lastArr {
+		arrival = *lastArr
+	}
+	*lastArr = arrival
+	l.stats.Sent++
+	l.stats.SentBytes += uint64(pkt.Size)
+	if s.OnSend != nil {
+		s.OnSend(pkt, arrival)
+	}
+	dst := pkt.Dst
+	s.At(arrival, func() {
+		if h, ok := s.handlers[dst]; ok {
+			if s.OnDeliver != nil {
+				s.OnDeliver(pkt, s.now)
+			}
+			h(pkt)
+		}
+	})
+	return true
+}

@@ -1,0 +1,184 @@
+// Package netem is a discrete-event network emulator used as the substrate
+// for every CellBricks emulation experiment. It provides a virtual clock,
+// an event queue, and a packet-level network model with links that impose
+// propagation delay, jitter, random loss, bandwidth serialization, and
+// operator rate-limiting policies (token-bucket shaping with a
+// time-of-day rate schedule, modelling the bimodal T-Mobile behaviour the
+// paper measures in Appendix A).
+//
+// All time in the simulator is virtual: experiments that span hundreds of
+// emulated seconds complete in milliseconds of wall time and are fully
+// deterministic for a given seed.
+package netem
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator with a virtual clock. The zero value is
+// not usable; construct with NewSim.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	handlers map[string]func(*Packet) // IP -> receive handler
+	paths    map[pathKey]*Link
+
+	// OnSend, when set, observes every admitted packet with its scheduled
+	// arrival time (a pcap-style tap for debugging and tests).
+	OnSend func(pkt *Packet, arrival time.Duration)
+	// OnDeliver, when set, observes every packet actually handed to a
+	// registered receiver (packets to unregistered addresses vanish
+	// without firing it).
+	OnDeliver func(pkt *Packet, at time.Duration)
+}
+
+type pathKey struct{ a, b string }
+
+func orderedKey(a, b string) pathKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pathKey{a, b}
+}
+
+// NewSim returns a simulator seeded deterministically.
+func NewSim(seed int64) *Sim {
+	return &Sim{
+		rng:      rand.New(rand.NewSource(seed)),
+		handlers: make(map[string]func(*Packet)),
+		paths:    make(map[pathKey]*Link),
+	}
+}
+
+// Now returns the current virtual time (duration since simulation start).
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past panics:
+// that is always a logic error in a discrete-event model.
+func (s *Sim) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("netem: schedule at %v before now %v", t, s.now))
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn d from now.
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the next pending event. It reports false when the queue is
+// empty.
+func (s *Sim) Step() bool {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t and then advances the
+// clock to exactly t.
+func (s *Sim) RunUntil(t time.Duration) {
+	for s.events.Len() > 0 {
+		next := s.peek()
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+func (s *Sim) peek() *Event {
+	// Skip over cancelled events at the top so RunUntil's bound check sees
+	// a live event.
+	for s.events.Len() > 0 {
+		e := s.events[0]
+		if !e.cancelled {
+			return e
+		}
+		heap.Pop(&s.events)
+	}
+	return &Event{at: 1<<62 - 1}
+}
+
+// Pending reports the number of scheduled (possibly cancelled) events.
+func (s *Sim) Pending() int { return s.events.Len() }

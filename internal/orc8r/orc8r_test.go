@@ -1,0 +1,156 @@
+package orc8r
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cellbricks/internal/qos"
+)
+
+func TestRegisterAndConfig(t *testing.T) {
+	o := New(AGWConfigPush{})
+	cfg, err := o.Register("agw-1", "telco-1", "10.0.0.1:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DefaultQoS.QCI == 0 || cfg.ReportInterval == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if _, err := o.Register("agw-1", "telco-1", "x"); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+	rec, ok := o.Get("agw-1")
+	if !ok || rec.TelcoID != "telco-1" {
+		t.Fatalf("record = %+v", rec)
+	}
+	o.Deregister("agw-1")
+	if _, ok := o.Get("agw-1"); ok {
+		t.Fatal("record survived deregister")
+	}
+}
+
+func TestHeartbeatAndConfigPush(t *testing.T) {
+	o := New(AGWConfigPush{})
+	o.Register("agw-1", "telco-1", "addr")
+	hb := Heartbeat{AGWID: "agw-1", ActiveSessions: 7, DLBytes: 1000, Attaches: 9, AttachFailures: 1}
+	cfg, err := o.ReportHeartbeat(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RequireLI {
+		t.Fatal("unexpected LI requirement")
+	}
+	// Push a new config: delivered on the next heartbeat.
+	newCfg := AGWConfigPush{
+		DefaultQoS:     qos.Params{QCI: qos.QCIWebTCPPremium, DLAmbrBps: 50e6, ULAmbrBps: 25e6},
+		ReportInterval: 10 * time.Second,
+		RequireLI:      true,
+	}
+	if err := o.PushConfig("agw-1", newCfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.ReportHeartbeat(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != newCfg {
+		t.Fatalf("config = %+v", got)
+	}
+	if err := o.PushConfig("nope", newCfg); !errors.Is(err, ErrUnknownAGW) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := o.ReportHeartbeat(Heartbeat{AGWID: "nope"}); !errors.Is(err, ErrUnknownAGW) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	now := time.Unix(1000, 0)
+	o := New(AGWConfigPush{})
+	o.Now = func() time.Time { return now }
+	o.Register("agw-1", "t", "a")
+	o.Register("agw-2", "t", "b")
+	now = now.Add(time.Minute)
+	o.ReportHeartbeat(Heartbeat{AGWID: "agw-2"})
+	now = now.Add(time.Minute) // agw-1 last seen 2min ago, agw-2 1min ago
+	alive := o.Alive()
+	if len(alive) != 1 || alive[0].ID != "agw-2" {
+		t.Fatalf("alive = %+v", alive)
+	}
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	o := New(AGWConfigPush{})
+	o.Register("a1", "telco-1", "")
+	o.Register("a2", "telco-1", "")
+	o.Register("b1", "telco-2", "")
+	o.ReportHeartbeat(Heartbeat{AGWID: "a1", ActiveSessions: 3, DLBytes: 100, Attaches: 5})
+	o.ReportHeartbeat(Heartbeat{AGWID: "a2", ActiveSessions: 2, DLBytes: 50, AttachFailures: 1})
+	o.ReportHeartbeat(Heartbeat{AGWID: "b1", ActiveSessions: 10, DLBytes: 1000})
+
+	fleet := o.Metrics("")
+	if fleet.AGWs != 3 || fleet.ActiveSessions != 15 || fleet.DLBytes != 1150 {
+		t.Fatalf("fleet = %+v", fleet)
+	}
+	t1 := o.Metrics("telco-1")
+	if t1.AGWs != 2 || t1.ActiveSessions != 5 || t1.Attaches != 5 || t1.AttachFailures != 1 {
+		t.Fatalf("telco-1 = %+v", t1)
+	}
+}
+
+func TestCodecs(t *testing.T) {
+	h := Heartbeat{AGWID: "x", At: 5 * time.Second, ActiveSessions: 2, ULBytes: 3, DLBytes: 4, Attaches: 5, AttachFailures: 6}
+	got, err := UnmarshalHeartbeat(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("heartbeat roundtrip: %+v", got)
+	}
+	c := AGWConfigPush{DefaultQoS: qos.Params{QCI: 8, DLAmbrBps: 1, ULAmbrBps: 2}, ReportInterval: time.Minute, RequireLI: true}
+	gotC, err := UnmarshalAGWConfigPush(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotC != c {
+		t.Fatalf("config roundtrip: %+v", gotC)
+	}
+	if _, err := UnmarshalHeartbeat([]byte{1}); err == nil {
+		t.Fatal("short heartbeat accepted")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	o := New(AGWConfigPush{})
+	srv, err := Serve(o, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cfg, err := c.Register("agw-w", "telco-w", "10.1.1.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ReportInterval == 0 {
+		t.Fatal("no default config over the wire")
+	}
+	// Push + heartbeat delivers the new config.
+	o.PushConfig("agw-w", AGWConfigPush{DefaultQoS: qos.DefaultParams(), ReportInterval: 5 * time.Second, RequireLI: true})
+	got, err := c.Heartbeat(Heartbeat{AGWID: "agw-w", ActiveSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.RequireLI || got.ReportInterval != 5*time.Second {
+		t.Fatalf("config over wire = %+v", got)
+	}
+	if m := o.Metrics("telco-w"); m.ActiveSessions != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}

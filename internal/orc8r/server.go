@@ -1,0 +1,107 @@
+package orc8r
+
+import (
+	"fmt"
+
+	"cellbricks/internal/codec"
+	"cellbricks/internal/wire"
+)
+
+// Wire message types for the orchestrator northbound (kept clear of the
+// ranges package wire uses for SAP/S6A/NAS).
+const (
+	TypeAGWRegister byte = iota + 64
+	TypeAGWRegistered
+	TypeAGWHeartbeat
+	TypeAGWConfig
+)
+
+// Server exposes an Orchestrator over the wire protocol.
+type Server struct {
+	O   *Orchestrator
+	srv *wire.Server
+}
+
+// Serve starts the orchestrator server on addr.
+func Serve(o *Orchestrator, addr string) (*Server, error) {
+	s := &Server{O: o}
+	srv, err := wire.NewServer(addr, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.srv = srv
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handle(msgType byte, payload []byte) (byte, []byte, error) {
+	switch msgType {
+	case TypeAGWRegister:
+		r := codec.NewReader(payload)
+		id := r.String()
+		telco := r.String()
+		addr := r.String()
+		if err := r.Done(); err != nil {
+			return 0, nil, err
+		}
+		cfg, err := s.O.Register(id, telco, addr)
+		if err != nil {
+			return 0, nil, err
+		}
+		return TypeAGWRegistered, cfg.Marshal(), nil
+	case TypeAGWHeartbeat:
+		h, err := UnmarshalHeartbeat(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		cfg, err := s.O.ReportHeartbeat(h)
+		if err != nil {
+			return 0, nil, err
+		}
+		return TypeAGWConfig, cfg.Marshal(), nil
+	default:
+		return 0, nil, fmt.Errorf("orc8r: unexpected message type %d", msgType)
+	}
+}
+
+// Client is the AGW-side orchestrator client.
+type Client struct{ C *wire.Client }
+
+// DialClient connects to an orchestrator server.
+func DialClient(addr string) (*Client, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{C: c}, nil
+}
+
+// Register announces the AGW and returns its initial config.
+func (c *Client) Register(id, telcoID, addr string) (AGWConfigPush, error) {
+	w := codec.NewWriter(64)
+	w.String(id)
+	w.String(telcoID)
+	w.String(addr)
+	_, reply, err := c.C.Call(TypeAGWRegister, w.Out())
+	if err != nil {
+		return AGWConfigPush{}, err
+	}
+	return UnmarshalAGWConfigPush(reply)
+}
+
+// Heartbeat reports health and returns the (possibly updated) config.
+func (c *Client) Heartbeat(h Heartbeat) (AGWConfigPush, error) {
+	_, reply, err := c.C.Call(TypeAGWHeartbeat, h.Marshal())
+	if err != nil {
+		return AGWConfigPush{}, err
+	}
+	return UnmarshalAGWConfigPush(reply)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.C.Close() }

@@ -1,0 +1,328 @@
+// Package pki provides the public-key identity substrate CellBricks
+// replaces SIM shared secrets with (§4.1 of the paper): Ed25519 signing
+// identities, a minimal certificate authority for broker and bTelco keys,
+// and "sealed boxes" (ephemeral X25519 ECDH + AES-256-GCM) for
+// encrypting-to-a-public-key, used by the SAP protocol and the verifiable
+// billing reports.
+//
+// UE keys are issued by the UE's broker and need no certificates (the
+// broker recognizes its own issuance); broker and bTelco keys carry CA
+// certificates distributed as in standard Internet PKI.
+package pki
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Errors returned by verification and sealing operations.
+var (
+	ErrBadSignature   = errors.New("pki: signature verification failed")
+	ErrBadCertificate = errors.New("pki: certificate verification failed")
+	ErrExpired        = errors.New("pki: certificate expired")
+	ErrDecrypt        = errors.New("pki: sealed box authentication failed")
+	ErrShortInput     = errors.New("pki: input too short")
+)
+
+// KeyPair is an Ed25519 signing identity plus the matching X25519 key used
+// for sealed-box decryption. The X25519 key is derived deterministically
+// from the Ed25519 seed so that a single stored secret suffices (as a SIM
+// would hold).
+type KeyPair struct {
+	Pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+
+	boxPriv *ecdh.PrivateKey
+	boxPub  []byte
+}
+
+// GenerateKeyPair creates a fresh identity using crypto/rand.
+func GenerateKeyPair() (*KeyPair, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generate: %w", err)
+	}
+	return newKeyPair(pub, priv)
+}
+
+// KeyPairFromSeed creates a deterministic identity from a 32-byte seed.
+// Intended for tests and reproducible experiments.
+func KeyPairFromSeed(seed []byte) (*KeyPair, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("pki: seed must be %d bytes, got %d", ed25519.SeedSize, len(seed))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return newKeyPair(priv.Public().(ed25519.PublicKey), priv)
+}
+
+func newKeyPair(pub ed25519.PublicKey, priv ed25519.PrivateKey) (*KeyPair, error) {
+	// Derive the X25519 key from the Ed25519 seed via HMAC-SHA256 with a
+	// domain-separation label.
+	mac := hmac.New(sha256.New, priv.Seed())
+	mac.Write([]byte("cellbricks-box-v1"))
+	boxSeed := mac.Sum(nil)
+	boxPriv, err := ecdh.X25519().NewPrivateKey(clampX25519(boxSeed))
+	if err != nil {
+		return nil, fmt.Errorf("pki: derive box key: %w", err)
+	}
+	return &KeyPair{
+		Pub:     pub,
+		priv:    priv,
+		boxPriv: boxPriv,
+		boxPub:  boxPriv.PublicKey().Bytes(),
+	}, nil
+}
+
+func clampX25519(k []byte) []byte {
+	out := make([]byte, 32)
+	copy(out, k[:32])
+	out[0] &= 248
+	out[31] &= 127
+	out[31] |= 64
+	return out
+}
+
+// Public returns the identity's public half for distribution.
+func (k *KeyPair) Public() PublicIdentity {
+	return PublicIdentity{SigPub: append(ed25519.PublicKey(nil), k.Pub...), BoxPub: append([]byte(nil), k.boxPub...)}
+}
+
+// Sign signs msg with the Ed25519 key.
+func (k *KeyPair) Sign(msg []byte) []byte { return ed25519.Sign(k.priv, msg) }
+
+// PublicIdentity is the distributable half of a KeyPair.
+type PublicIdentity struct {
+	SigPub ed25519.PublicKey
+	BoxPub []byte // X25519 public key
+}
+
+// Verify checks an Ed25519 signature.
+func (p PublicIdentity) Verify(msg, sig []byte) error {
+	if len(p.SigPub) != ed25519.PublicKeySize || !ed25519.Verify(p.SigPub, msg, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Digest is the identity digest the SAP protocol uses as an identifier: the
+// SHA-256 of the signing public key. The paper notes an identifier "could
+// be the digest of the owner's public key".
+func (p PublicIdentity) Digest() string {
+	sum := sha256.Sum256(p.SigPub)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Bytes flattens the identity for embedding in certificates and messages.
+func (p PublicIdentity) Bytes() []byte {
+	out := make([]byte, 0, len(p.SigPub)+len(p.BoxPub)+8)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(p.SigPub)))
+	out = append(out, p.SigPub...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(p.BoxPub)))
+	out = append(out, p.BoxPub...)
+	return out
+}
+
+// ParsePublicIdentity reverses PublicIdentity.Bytes.
+func ParsePublicIdentity(b []byte) (PublicIdentity, error) {
+	var p PublicIdentity
+	sig, rest, err := readChunk(b)
+	if err != nil {
+		return p, err
+	}
+	box, rest, err := readChunk(rest)
+	if err != nil {
+		return p, err
+	}
+	if len(rest) != 0 {
+		return p, fmt.Errorf("pki: %d trailing bytes in identity", len(rest))
+	}
+	if len(sig) != ed25519.PublicKeySize {
+		return p, fmt.Errorf("pki: bad signing key length %d", len(sig))
+	}
+	p.SigPub = ed25519.PublicKey(sig)
+	p.BoxPub = box
+	return p, nil
+}
+
+func readChunk(b []byte) (chunk, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, ErrShortInput
+	}
+	n := binary.BigEndian.Uint32(b)
+	if uint64(len(b)-4) < uint64(n) {
+		return nil, nil, ErrShortInput
+	}
+	return b[4 : 4+n], b[4+n:], nil
+}
+
+// Seal encrypts msg so only the holder of the recipient's box key can read
+// it: ephemeral X25519 -> HKDF-free HMAC-based key derivation -> AES-GCM.
+// Output layout: epk(32) || nonce(12) || ciphertext.
+func Seal(recipient PublicIdentity, msg []byte) ([]byte, error) {
+	rpub, err := ecdh.X25519().NewPublicKey(recipient.BoxPub)
+	if err != nil {
+		return nil, fmt.Errorf("pki: recipient box key: %w", err)
+	}
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := eph.ECDH(rpub)
+	if err != nil {
+		return nil, err
+	}
+	key := boxKey(shared, eph.PublicKey().Bytes(), recipient.BoxPub)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 32+len(nonce)+len(msg)+gcm.Overhead())
+	out = append(out, eph.PublicKey().Bytes()...)
+	out = append(out, nonce...)
+	return gcm.Seal(out, nonce, msg, nil), nil
+}
+
+// Open decrypts a sealed box addressed to k.
+func (k *KeyPair) Open(box []byte) ([]byte, error) {
+	if len(box) < 32+12+16 {
+		return nil, ErrShortInput
+	}
+	epk, err := ecdh.X25519().NewPublicKey(box[:32])
+	if err != nil {
+		return nil, fmt.Errorf("pki: ephemeral key: %w", err)
+	}
+	shared, err := k.boxPriv.ECDH(epk)
+	if err != nil {
+		return nil, err
+	}
+	key := boxKey(shared, box[:32], k.boxPub)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := box[32 : 32+gcm.NonceSize()]
+	pt, err := gcm.Open(nil, nonce, box[32+gcm.NonceSize():], nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+func boxKey(shared, epk, rpk []byte) []byte {
+	mac := hmac.New(sha256.New, shared)
+	mac.Write([]byte("cellbricks-seal-v1"))
+	mac.Write(epk)
+	mac.Write(rpk)
+	return mac.Sum(nil)
+}
+
+// Certificate binds a subject name and role to a public identity, signed
+// by a CA — the standard-PKI assumption the paper makes for broker and
+// bTelco keys.
+type Certificate struct {
+	Subject   string
+	Role      string // "broker" | "btelco" | "ca"
+	Identity  PublicIdentity
+	NotBefore time.Time
+	NotAfter  time.Time
+	Signature []byte // CA signature over signedBytes
+}
+
+func (c *Certificate) signedBytes() []byte {
+	var out []byte
+	out = appendString(out, c.Subject)
+	out = appendString(out, c.Role)
+	out = append(out, c.Identity.Bytes()...)
+	out = binary.BigEndian.AppendUint64(out, uint64(c.NotBefore.Unix()))
+	out = binary.BigEndian.AppendUint64(out, uint64(c.NotAfter.Unix()))
+	return out
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// CA is a certificate authority.
+type CA struct {
+	Name string
+	key  *KeyPair
+}
+
+// NewCA creates a certificate authority with a fresh key.
+func NewCA(name string) (*CA, error) {
+	k, err := GenerateKeyPair()
+	if err != nil {
+		return nil, err
+	}
+	return &CA{Name: name, key: k}, nil
+}
+
+// NewCAFromSeed creates a deterministic CA for tests.
+func NewCAFromSeed(name string, seed []byte) (*CA, error) {
+	k, err := KeyPairFromSeed(seed)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{Name: name, key: k}, nil
+}
+
+// Public returns the CA's verification identity (the trust anchor).
+func (ca *CA) Public() PublicIdentity { return ca.key.Public() }
+
+// Issue signs a certificate for the subject, valid for the given window.
+func (ca *CA) Issue(subject, role string, id PublicIdentity, notBefore, notAfter time.Time) *Certificate {
+	c := &Certificate{
+		Subject:   subject,
+		Role:      role,
+		Identity:  id,
+		NotBefore: notBefore.Truncate(time.Second),
+		NotAfter:  notAfter.Truncate(time.Second),
+	}
+	c.Signature = ca.key.Sign(c.signedBytes())
+	return c
+}
+
+// VerifyCert checks a certificate against a trust anchor at time now.
+func VerifyCert(anchor PublicIdentity, c *Certificate, now time.Time) error {
+	if c == nil {
+		return ErrBadCertificate
+	}
+	if err := anchor.Verify(c.signedBytes(), c.Signature); err != nil {
+		return ErrBadCertificate
+	}
+	if now.Before(c.NotBefore) || now.After(c.NotAfter) {
+		return ErrExpired
+	}
+	return nil
+}
+
+// NewNonce returns a 16-byte random nonce (replay protection in SAP).
+func NewNonce() ([16]byte, error) {
+	var n [16]byte
+	_, err := io.ReadFull(rand.Reader, n[:])
+	return n, err
+}

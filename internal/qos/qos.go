@@ -1,0 +1,145 @@
+// Package qos models the 3GPP QoS vocabulary the SAP protocol negotiates:
+// QCI classes, aggregate maximum bit rates (AMBR), and the
+// capability/parameter split the paper introduces — a bTelco advertises
+// what it *can* enforce (qosCap) and the broker picks specific values
+// (qosInfo) that the bTelco's user plane then enforces. CellBricks
+// decouples QoS policy (broker) from mechanism (bTelco).
+package qos
+
+import (
+	"errors"
+	"fmt"
+)
+
+// QCI is a 3GPP QoS Class Identifier. We carry the standard LTE classes.
+type QCI byte
+
+// Standardized QCI values (TS 23.203 Table 6.1.7).
+const (
+	QCIConversationalVoice QCI = 1 // GBR, voice
+	QCIConversationalVideo QCI = 2
+	QCIRealTimeGaming      QCI = 3
+	QCIBufferedVideo       QCI = 4
+	QCIIMSSignalling       QCI = 5
+	QCIVideoTCP            QCI = 6
+	QCIVoiceVideoGaming    QCI = 7
+	QCIWebTCPPremium       QCI = 8
+	QCIWebTCPDefault       QCI = 9
+)
+
+// Profile is the standardized behaviour of a QCI.
+type Profile struct {
+	QCI         QCI
+	GBR         bool // guaranteed bit rate class
+	Priority    int
+	DelayBudget int     // ms
+	LossRate    float64 // packet error loss rate target
+}
+
+var profiles = map[QCI]Profile{
+	QCIConversationalVoice: {QCIConversationalVoice, true, 2, 100, 1e-2},
+	QCIConversationalVideo: {QCIConversationalVideo, true, 4, 150, 1e-3},
+	QCIRealTimeGaming:      {QCIRealTimeGaming, true, 3, 50, 1e-3},
+	QCIBufferedVideo:       {QCIBufferedVideo, true, 5, 300, 1e-6},
+	QCIIMSSignalling:       {QCIIMSSignalling, false, 1, 100, 1e-6},
+	QCIVideoTCP:            {QCIVideoTCP, false, 6, 300, 1e-6},
+	QCIVoiceVideoGaming:    {QCIVoiceVideoGaming, false, 7, 100, 1e-3},
+	QCIWebTCPPremium:       {QCIWebTCPPremium, false, 8, 300, 1e-6},
+	QCIWebTCPDefault:       {QCIWebTCPDefault, false, 9, 300, 1e-6},
+}
+
+// Lookup returns the standardized profile for a QCI.
+func Lookup(q QCI) (Profile, bool) {
+	p, ok := profiles[q]
+	return p, ok
+}
+
+// Capability is qosCap: what a bTelco's user plane can enforce, advertised
+// to the broker inside the SAP authReqT.
+type Capability struct {
+	QCIs         []QCI  // supported classes
+	MaxDLAmbrBps uint64 // ceiling the bTelco can provision
+	MaxULAmbrBps uint64
+	GBRSupported bool
+}
+
+// Supports reports whether the capability covers a QCI.
+func (c Capability) Supports(q QCI) bool {
+	for _, v := range c.QCIs {
+		if v == q {
+			return true
+		}
+	}
+	return false
+}
+
+// Params is qosInfo: the concrete values the broker instructs the bTelco
+// to enforce for one UE, carried back inside authRespT.
+type Params struct {
+	QCI       QCI
+	DLAmbrBps uint64
+	ULAmbrBps uint64
+}
+
+// Errors from validation.
+var (
+	ErrUnknownQCI  = errors.New("qos: unknown QCI")
+	ErrUnsupported = errors.New("qos: bTelco capability does not cover request")
+)
+
+// Validate checks params against the standard table and a capability.
+func (p Params) Validate(c Capability) error {
+	if _, ok := Lookup(p.QCI); !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownQCI, p.QCI)
+	}
+	if !c.Supports(p.QCI) {
+		return fmt.Errorf("%w: QCI %d", ErrUnsupported, p.QCI)
+	}
+	if prof, _ := Lookup(p.QCI); prof.GBR && !c.GBRSupported {
+		return fmt.Errorf("%w: GBR class %d without GBR support", ErrUnsupported, p.QCI)
+	}
+	if c.MaxDLAmbrBps > 0 && p.DLAmbrBps > c.MaxDLAmbrBps {
+		return fmt.Errorf("%w: DL AMBR %d > max %d", ErrUnsupported, p.DLAmbrBps, c.MaxDLAmbrBps)
+	}
+	if c.MaxULAmbrBps > 0 && p.ULAmbrBps > c.MaxULAmbrBps {
+		return fmt.Errorf("%w: UL AMBR %d > max %d", ErrUnsupported, p.ULAmbrBps, c.MaxULAmbrBps)
+	}
+	return nil
+}
+
+// Clamp returns params reduced to fit a capability (broker-side policy
+// helper: ask for the best the bTelco can deliver).
+func (p Params) Clamp(c Capability) Params {
+	out := p
+	if !c.Supports(out.QCI) {
+		out.QCI = QCIWebTCPDefault
+		// A capability that doesn't even include QCI 9 gets whatever its
+		// first advertised class is.
+		if !c.Supports(out.QCI) && len(c.QCIs) > 0 {
+			out.QCI = c.QCIs[0]
+		}
+	}
+	if c.MaxDLAmbrBps > 0 && out.DLAmbrBps > c.MaxDLAmbrBps {
+		out.DLAmbrBps = c.MaxDLAmbrBps
+	}
+	if c.MaxULAmbrBps > 0 && out.ULAmbrBps > c.MaxULAmbrBps {
+		out.ULAmbrBps = c.MaxULAmbrBps
+	}
+	return out
+}
+
+// DefaultCapability is a typical small-cell bTelco advertisement.
+func DefaultCapability() Capability {
+	return Capability{
+		QCIs:         []QCI{QCIConversationalVoice, QCIVideoTCP, QCIWebTCPPremium, QCIWebTCPDefault},
+		MaxDLAmbrBps: 100e6,
+		MaxULAmbrBps: 50e6,
+		GBRSupported: true,
+	}
+}
+
+// DefaultParams is a typical broker selection: best-effort web class with
+// a 20/10 Mbps AMBR.
+func DefaultParams() Params {
+	return Params{QCI: QCIWebTCPDefault, DLAmbrBps: 20e6, ULAmbrBps: 10e6}
+}

@@ -1,0 +1,117 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupStandardTable(t *testing.T) {
+	for q := QCI(1); q <= 9; q++ {
+		p, ok := Lookup(q)
+		if !ok {
+			t.Fatalf("QCI %d missing", q)
+		}
+		if p.QCI != q {
+			t.Fatalf("profile QCI %d != %d", p.QCI, q)
+		}
+		if p.DelayBudget <= 0 || p.LossRate <= 0 {
+			t.Fatalf("QCI %d has degenerate profile %+v", q, p)
+		}
+	}
+	if _, ok := Lookup(99); ok {
+		t.Fatal("QCI 99 should not exist")
+	}
+	// GBR split per the standard: 1-4 GBR, 5-9 non-GBR.
+	for q := QCI(1); q <= 4; q++ {
+		if p, _ := Lookup(q); !p.GBR {
+			t.Fatalf("QCI %d should be GBR", q)
+		}
+	}
+	for q := QCI(5); q <= 9; q++ {
+		if p, _ := Lookup(q); p.GBR {
+			t.Fatalf("QCI %d should be non-GBR", q)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cap := DefaultCapability()
+	if err := DefaultParams().Validate(cap); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	// Unknown QCI.
+	if err := (Params{QCI: 42}).Validate(cap); !errors.Is(err, ErrUnknownQCI) {
+		t.Fatalf("err=%v, want ErrUnknownQCI", err)
+	}
+	// Unsupported QCI.
+	if err := (Params{QCI: QCIRealTimeGaming}).Validate(cap); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err=%v, want ErrUnsupported", err)
+	}
+	// AMBR over capability.
+	p := DefaultParams()
+	p.DLAmbrBps = cap.MaxDLAmbrBps + 1
+	if err := p.Validate(cap); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err=%v, want ErrUnsupported", err)
+	}
+	// GBR class without GBR support.
+	noGBR := cap
+	noGBR.GBRSupported = false
+	if err := (Params{QCI: QCIConversationalVoice, DLAmbrBps: 1e6, ULAmbrBps: 1e6}).Validate(noGBR); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err=%v, want ErrUnsupported (GBR)", err)
+	}
+}
+
+func TestClampFitsCapability(t *testing.T) {
+	cap := Capability{QCIs: []QCI{QCIWebTCPDefault}, MaxDLAmbrBps: 5e6, MaxULAmbrBps: 1e6}
+	p := Params{QCI: QCIConversationalVoice, DLAmbrBps: 50e6, ULAmbrBps: 50e6}
+	got := p.Clamp(cap)
+	if err := got.Validate(cap); err != nil {
+		t.Fatalf("clamped params still invalid: %v (%+v)", err, got)
+	}
+	if got.DLAmbrBps != 5e6 || got.ULAmbrBps != 1e6 || got.QCI != QCIWebTCPDefault {
+		t.Fatalf("clamp = %+v", got)
+	}
+}
+
+func TestClampFallsBackToFirstAdvertised(t *testing.T) {
+	cap := Capability{QCIs: []QCI{QCIIMSSignalling}, MaxDLAmbrBps: 1e6, MaxULAmbrBps: 1e6}
+	got := Params{QCI: QCIWebTCPDefault, DLAmbrBps: 1e6, ULAmbrBps: 1e6}.Clamp(cap)
+	if got.QCI != QCIIMSSignalling {
+		t.Fatalf("clamp QCI = %d, want fallback to first advertised", got.QCI)
+	}
+}
+
+func TestSupports(t *testing.T) {
+	cap := DefaultCapability()
+	if !cap.Supports(QCIWebTCPDefault) {
+		t.Fatal("default capability must support QCI 9")
+	}
+	if cap.Supports(QCIRealTimeGaming) {
+		t.Fatal("default capability should not support QCI 3")
+	}
+}
+
+// Property: Clamp is idempotent and always yields Validate-clean params
+// for any capability that advertises at least one known QCI.
+func TestPropertyClampValidates(t *testing.T) {
+	f := func(qci byte, dl, ul uint32, maxDL, maxUL uint32) bool {
+		cap := Capability{
+			QCIs:         []QCI{QCIWebTCPDefault, QCIVideoTCP},
+			MaxDLAmbrBps: uint64(maxDL) + 1,
+			MaxULAmbrBps: uint64(maxUL) + 1,
+		}
+		p := Params{QCI: QCI(qci%12) + 1, DLAmbrBps: uint64(dl), ULAmbrBps: uint64(ul)}
+		c1 := p.Clamp(cap)
+		if c1.Validate(cap) != nil {
+			// Unknown QCIs beyond 9 can slip through Clamp only if the
+			// fallback also fails — that would be a bug.
+			_, known := Lookup(c1.QCI)
+			return !known && false
+		}
+		return c1 == c1.Clamp(cap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

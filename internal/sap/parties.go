@@ -1,0 +1,356 @@
+package sap
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"time"
+
+	"cellbricks/internal/nas"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/qos"
+)
+
+// UEState holds the small static parameter set SAP requires at the UE:
+// "U's key pairs and B's public key. This state can be embedded in the
+// U's SIM card."
+type UEState struct {
+	IDU       string // broker-assigned identifier (digest of pkU by default)
+	IDB       string
+	Key       *pki.KeyPair
+	BrokerPub pki.PublicIdentity
+}
+
+// PendingAttach is the UE-side state for one in-flight attach.
+type PendingAttach struct {
+	IDT   string
+	Nonce [NonceSize]byte
+}
+
+// NewAttachRequest runs UE procedures 1–4 of Fig. 2 for bTelco idT.
+func (u *UEState) NewAttachRequest(idT string) (*AuthReqU, *PendingAttach, error) {
+	nonce, err := pki.NewNonce()
+	if err != nil {
+		return nil, nil, err
+	}
+	vec := AuthVec{IDU: u.IDU, IDB: u.IDB, IDT: idT, Nonce: nonce}
+	sealed, err := pki.Seal(u.BrokerPub, vec.marshal())
+	if err != nil {
+		return nil, nil, fmt.Errorf("sap: seal authVec: %w", err)
+	}
+	req := &AuthReqU{
+		IDB:       u.IDB,
+		SealedVec: sealed,
+		Sig:       u.Key.Sign(sealed),
+	}
+	return req, &PendingAttach{IDT: idT, Nonce: nonce}, nil
+}
+
+// HandleResponse runs UE procedures 5–6 of Fig. 2: verify the broker's
+// signature on authRespU, decrypt it, check the echoed nonce and bTelco
+// identity, and return ss for NAS security-context setup along with the
+// broker-assigned session reference the UE labels its billing reports
+// with.
+func (u *UEState) HandleResponse(p *PendingAttach, resp *AuthRespU) (nas.MasterKey, string, error) {
+	var zero nas.MasterKey
+	if resp == nil || p == nil {
+		return zero, "", ErrBadRequest
+	}
+	if err := u.BrokerPub.Verify(resp.Sealed, resp.Sig); err != nil {
+		return zero, "", fmt.Errorf("sap: authRespU signature: %w", err)
+	}
+	pt, err := u.Key.Open(resp.Sealed)
+	if err != nil {
+		return zero, "", fmt.Errorf("sap: authRespU decrypt: %w", err)
+	}
+	var inner innerRespU
+	if err := inner.unmarshal(pt); err != nil {
+		return zero, "", err
+	}
+	if inner.Nonce != p.Nonce {
+		return zero, "", ErrNonceMismatch
+	}
+	if inner.IDT != p.IDT {
+		return zero, "", ErrWrongTelco
+	}
+	if inner.IDU != u.IDU {
+		return zero, "", fmt.Errorf("%w: response for %q", ErrBadRequest, inner.IDU)
+	}
+	return inner.SS, inner.URef, nil
+}
+
+// TelcoState is the bTelco side of SAP: a certified key pair plus the
+// service terms it advertises. A bTelco needs nothing else — "only a
+// certified public key and an ability to settle payments".
+type TelcoState struct {
+	IDT   string
+	Key   *pki.KeyPair
+	Cert  *pki.Certificate
+	Terms ServiceTerms
+}
+
+// ForwardRequest runs the bTelco's first procedure (Fig. 3 top): augment
+// the UE request with terms, sign, and produce the message for the broker.
+func (t *TelcoState) ForwardRequest(reqU *AuthReqU) (*AuthReqT, error) {
+	if reqU == nil || len(reqU.SealedVec) == 0 {
+		return nil, ErrBadRequest
+	}
+	m := &AuthReqT{ReqU: *reqU, IDT: t.IDT, Cert: t.Cert, Terms: t.Terms}
+	m.Sig = t.Key.Sign(m.signedBytes())
+	return m, nil
+}
+
+// Grant is what the bTelco extracts from an approved response: the proof
+// of authorization plus everything needed to serve the UE.
+type Grant struct {
+	URef   string // opaque session reference for the (still anonymous) UE
+	SS     nas.MasterKey
+	Params qos.Params
+	LI     bool
+}
+
+// HandleResponse runs the bTelco's second procedure: authenticate the
+// broker by its signature over authRespT, decrypt the grant, and sanity
+// check that it names this bTelco.
+func (t *TelcoState) HandleResponse(brokerPub pki.PublicIdentity, resp *AuthResp) (*Grant, *AuthRespU, error) {
+	if resp == nil {
+		return nil, nil, ErrBadRequest
+	}
+	if !resp.Granted {
+		return nil, nil, fmt.Errorf("%w: %s", ErrDenied, resp.Cause)
+	}
+	if err := brokerPub.Verify(resp.T.Sealed, resp.T.Sig); err != nil {
+		return nil, nil, fmt.Errorf("sap: authRespT signature: %w", err)
+	}
+	pt, err := t.Key.Open(resp.T.Sealed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sap: authRespT decrypt: %w", err)
+	}
+	var inner innerRespT
+	if err := inner.unmarshal(pt); err != nil {
+		return nil, nil, err
+	}
+	if inner.IDT != t.IDT {
+		return nil, nil, ErrWrongTelco
+	}
+	if err := inner.Params.Validate(t.Terms.Cap); err != nil {
+		return nil, nil, fmt.Errorf("sap: broker qosInfo outside capability: %w", err)
+	}
+	return &Grant{URef: inner.URef, SS: inner.SS, Params: inner.Params, LI: inner.LI}, &resp.U, nil
+}
+
+// Authorizer is the broker's pluggable policy: given the authenticated
+// user, the bTelco and its terms, decide admission and pick qosInfo. The
+// paper leaves this policy "open to innovation".
+type Authorizer interface {
+	Authorize(idU, idT string, terms ServiceTerms) (qos.Params, error)
+}
+
+// AuthorizerFunc adapts a function to Authorizer.
+type AuthorizerFunc func(idU, idT string, terms ServiceTerms) (qos.Params, error)
+
+// Authorize implements Authorizer.
+func (f AuthorizerFunc) Authorize(idU, idT string, terms ServiceTerms) (qos.Params, error) {
+	return f(idU, idT, terms)
+}
+
+// AcceptAll authorizes every authenticated request with the bTelco's
+// capability clamped around the broker's default parameter choice.
+func AcceptAll() Authorizer {
+	return AuthorizerFunc(func(_, _ string, terms ServiceTerms) (qos.Params, error) {
+		return qos.DefaultParams().Clamp(terms.Cap), nil
+	})
+}
+
+// BrokerState is the broker side of SAP: its key pair, the CA trust
+// anchor for bTelco certificates, the registry of user keys it issued,
+// a replay cache, and the authorization policy.
+type BrokerState struct {
+	IDB    string
+	Key    *pki.KeyPair
+	Anchor pki.PublicIdentity
+	Policy Authorizer
+
+	users   map[string]pki.PublicIdentity // idU -> key the broker issued
+	revoked map[string]bool
+	nonces  *nonceCache
+	now     func() time.Time
+}
+
+// NewBrokerState builds a broker with the given trust anchor and policy.
+// now supplies certificate-validation time (virtual or wall clock).
+func NewBrokerState(idB string, key *pki.KeyPair, anchor pki.PublicIdentity, policy Authorizer, now func() time.Time) *BrokerState {
+	if now == nil {
+		now = time.Now
+	}
+	if policy == nil {
+		policy = AcceptAll()
+	}
+	return &BrokerState{
+		IDB:     idB,
+		Key:     key,
+		Anchor:  anchor,
+		Policy:  policy,
+		users:   make(map[string]pki.PublicIdentity),
+		revoked: make(map[string]bool),
+		nonces:  newNonceCache(1 << 16),
+		now:     now,
+	}
+}
+
+// RegisterUser records a user key the broker issued. Returns the idU the
+// UE should embed in authVec (the key digest).
+func (b *BrokerState) RegisterUser(pub pki.PublicIdentity) string {
+	id := pub.Digest()
+	b.users[id] = pub
+	return id
+}
+
+// RevokeUser invalidates a user key: "B can revoke U's public key by
+// simply invalidating the key in its database."
+func (b *BrokerState) RevokeUser(idU string) { b.revoked[idU] = true }
+
+// GrantRecord is the broker's bookkeeping for an approved attachment,
+// used later to align billing reports.
+type GrantRecord struct {
+	URef  string
+	IDU   string
+	IDT   string
+	SS    nas.MasterKey
+	Terms ServiceTerms
+	QoS   qos.Params
+}
+
+// HandleRequest runs the broker procedures of Fig. 3 (bottom): verify the
+// bTelco certificate and signature, decrypt authVec, verify the UE
+// signature and membership, enforce replay protection, run policy, mint
+// ss, and emit the two sealed responses. The returned GrantRecord is nil
+// when the response is a denial.
+func (b *BrokerState) HandleRequest(req *AuthReqT) (*AuthResp, *GrantRecord, error) {
+	if req == nil {
+		return nil, nil, ErrBadRequest
+	}
+	deny := func(cause string) (*AuthResp, *GrantRecord, error) {
+		return &AuthResp{Granted: false, Cause: cause}, nil, nil
+	}
+
+	// 1. Authenticate the bTelco: certificate chains to the anchor, the
+	// certificate's subject matches the claimed idT, and the signature
+	// over the augmented request verifies under the certified key.
+	if err := pki.VerifyCert(b.Anchor, req.Cert, b.now()); err != nil {
+		return deny("bTelco certificate invalid")
+	}
+	if req.Cert.Role != "btelco" || req.Cert.Subject != req.IDT {
+		return deny("bTelco certificate subject/role mismatch")
+	}
+	if err := req.Cert.Identity.Verify(req.signedBytes(), req.Sig); err != nil {
+		return deny("bTelco signature invalid")
+	}
+
+	// 2. Decrypt and authenticate the UE's vector.
+	if req.ReqU.IDB != b.IDB {
+		return deny("request addressed to a different broker")
+	}
+	pt, err := b.Key.Open(req.ReqU.SealedVec)
+	if err != nil {
+		return deny("authVec undecryptable")
+	}
+	var vec AuthVec
+	if err := vec.unmarshal(pt); err != nil {
+		return deny("authVec malformed")
+	}
+	if vec.IDB != b.IDB {
+		return deny("authVec names a different broker")
+	}
+	pubU, ok := b.users[vec.IDU]
+	if !ok {
+		return deny("unknown user")
+	}
+	if b.revoked[vec.IDU] {
+		return deny("user key revoked")
+	}
+	if err := pubU.Verify(req.ReqU.SealedVec, req.ReqU.Sig); err != nil {
+		return deny("UE signature invalid")
+	}
+	// The UE bound this request to a specific bTelco; the forwarding
+	// bTelco must be that one (stops a malicious cell replaying a request
+	// captured at another bTelco).
+	if vec.IDT != req.IDT {
+		return deny("bTelco identity mismatch")
+	}
+	if !b.nonces.add(vec.Nonce) {
+		return deny("replayed nonce")
+	}
+
+	// 3. Policy decision.
+	params, err := b.Policy.Authorize(vec.IDU, req.IDT, req.Terms)
+	if err != nil {
+		return deny("authorization denied: " + err.Error())
+	}
+	if err := params.Validate(req.Terms.Cap); err != nil {
+		return deny("policy selected unsupportable QoS: " + err.Error())
+	}
+
+	// 4. Mint ss and the opaque session reference, then seal+sign both
+	// responses.
+	ss, err := NewMasterSecret()
+	if err != nil {
+		return nil, nil, err
+	}
+	uref, err := newURef()
+	if err != nil {
+		return nil, nil, err
+	}
+	respT := innerRespT{URef: uref, IDT: req.IDT, SS: ss, Params: params, LI: req.Terms.LawfulIntercept}
+	sealedT, err := pki.Seal(req.Cert.Identity, respT.marshal())
+	if err != nil {
+		return nil, nil, fmt.Errorf("sap: seal authRespT: %w", err)
+	}
+	respU := innerRespU{IDU: vec.IDU, IDT: req.IDT, URef: uref, SS: ss, Nonce: vec.Nonce}
+	sealedU, err := pki.Seal(pubU, respU.marshal())
+	if err != nil {
+		return nil, nil, fmt.Errorf("sap: seal authRespU: %w", err)
+	}
+	resp := &AuthResp{
+		Granted: true,
+		T:       AuthRespT{Sealed: sealedT, Sig: b.Key.Sign(sealedT)},
+		U:       AuthRespU{Sealed: sealedU, Sig: b.Key.Sign(sealedU)},
+	}
+	rec := &GrantRecord{URef: uref, IDU: vec.IDU, IDT: req.IDT, SS: ss, Terms: req.Terms, QoS: params}
+	return resp, rec, nil
+}
+
+func newURef() (string, error) {
+	var b [12]byte
+	if _, err := io.ReadFull(rand.Reader, b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// nonceCache is a bounded replay filter.
+type nonceCache struct {
+	seen  map[[NonceSize]byte]struct{}
+	order [][NonceSize]byte
+	max   int
+}
+
+func newNonceCache(max int) *nonceCache {
+	return &nonceCache{seen: make(map[[NonceSize]byte]struct{}), max: max}
+}
+
+// add records a nonce, reporting false when it was already present.
+func (c *nonceCache) add(n [NonceSize]byte) bool {
+	if _, dup := c.seen[n]; dup {
+		return false
+	}
+	c.seen[n] = struct{}{}
+	c.order = append(c.order, n)
+	if len(c.order) > c.max {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.seen, old)
+	}
+	return true
+}

@@ -1,0 +1,220 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"cellbricks/internal/apps"
+	"cellbricks/internal/mptcp"
+	"cellbricks/internal/netem"
+	"cellbricks/internal/trace"
+)
+
+// RunWebFallback runs the web workload under CellBricks with *plain TCP*
+// and application-layer recovery — the paper's incremental-deployment
+// strategy while MPTCP/QUIC deploy: "fallback to TCP and rely on the
+// application and/or L7 protocols (e.g. ... HTTP range headers) to
+// efficiently restart failed connections."
+//
+// Each handover kills the TCP connection; the loader redials once the new
+// attachment completes (d + one handshake round trip) and resumes the
+// current page with a ranged request (one extra application round trip),
+// keeping the bytes already received.
+func RunWebFallback(sc Scenario) apps.WebResult {
+	sc = sc.Defaults()
+	sim := netem.NewSim(sc.Seed)
+	op := trace.NewOperator(sc.Seed + 1)
+
+	f := &fallbackLoader{
+		sim: sim,
+		op:  op,
+		sc:  sc,
+		cfg: apps.DefaultWebConfig(),
+	}
+	f.connect("web-ue-0")
+	for _, at := range sc.Route.Handovers(sim.Rand(), sc.Night, sc.Duration) {
+		at := at
+		sim.At(at, func() { f.handover() })
+	}
+	f.end = sim.Now() + sc.Duration
+	f.startPage()
+	sim.RunUntil(f.end)
+	f.done = true
+
+	res := apps.WebResult{LoadTimes: f.loads, Pages: len(f.loads)}
+	if len(f.loads) > 0 {
+		var sum time.Duration
+		for _, d := range f.loads {
+			sum += d
+		}
+		res.AvgLoad = sum / time.Duration(len(f.loads))
+	}
+	return res
+}
+
+// fallbackLoader is the resumable page loader over throwaway TCP
+// connections.
+type fallbackLoader struct {
+	sim *netem.Sim
+	op  *trace.Operator
+	sc  Scenario
+	cfg apps.WebConfig
+
+	conn  *mptcp.Conn
+	ueIdx int
+	ueIP  string
+	gen   int // connection generation, to ignore stale callbacks
+	loads []time.Duration
+	end   time.Duration
+	done  bool
+
+	// Page state.
+	pageActive bool
+	pageStart  time.Duration
+	round      int
+	roundLeft  int // bytes still owed in the current round
+	target     uint64
+	inFlight   bool
+}
+
+func (f *fallbackLoader) connect(ip string) {
+	f.ueIP = ip
+	f.sim.Connect(ServerIP, ip, f.op.CellularLink(f.sc.Route, f.sc.Night))
+	cfg := mptcp.Config{Multipath: false}
+	f.conn = mptcp.NewConn(f.sim, ServerIP, ip, cfg)
+	f.gen++
+	gen := f.gen
+	f.conn.OnDeliver = func(int) { f.onBytes(gen) }
+}
+
+// handover kills the connection; after the attach completes the loader
+// redials and resumes the interrupted round with a ranged request.
+func (f *fallbackLoader) handover() {
+	if f.done {
+		return
+	}
+	// Bytes still missing from the in-flight round.
+	remaining := 0
+	if f.inFlight {
+		remaining = int(f.target) - int(f.conn.Delivered())
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+	f.conn.AddrInvalidated() // plain TCP: the connection dies
+	f.sim.Disconnect(ServerIP, f.ueIP)
+	f.ueIdx++
+	newIP := fmt.Sprintf("web-ue-%d", f.ueIdx)
+	// d (attach) + TCP handshake (one round trip on the new path).
+	redialAt := f.sc.AttachLatency + 2*f.sc.Route.Delay
+	rem := remaining
+	inFlight := f.inFlight
+	f.inFlight = false
+	f.sim.After(redialAt, func() {
+		if f.done {
+			return
+		}
+		f.connect(newIP)
+		switch {
+		case inFlight:
+			// L7 restart: re-request only the missing range, costing one
+			// more application round trip.
+			f.requestBytes(rem)
+		case f.pageActive:
+			// The handover hit between requests (a think window whose
+			// timer died with the old connection): re-issue the round.
+			f.requestBytes(f.cfg.PageBytes / f.cfg.Rounds)
+		default:
+			// Between pages: the gap timer is still pending; nothing to
+			// resume.
+		}
+	})
+}
+
+func (f *fallbackLoader) startPage() {
+	if f.done || f.sim.Now() >= f.end {
+		return
+	}
+	f.pageStart = f.sim.Now()
+	f.pageActive = true
+	f.round = 0
+	f.nextRound()
+}
+
+func (f *fallbackLoader) nextRound() {
+	if f.done || f.sim.Now() >= f.end {
+		return
+	}
+	f.round++
+	f.requestBytes(f.cfg.PageBytes / f.cfg.Rounds)
+}
+
+// requestBytes issues one application request after a think round trip.
+func (f *fallbackLoader) requestBytes(n int) {
+	rtt := f.conn.SRTT()
+	if rtt < 30*time.Millisecond {
+		rtt = 30 * time.Millisecond
+	}
+	gen := f.gen
+	f.sim.After(rtt, func() {
+		if f.done || gen != f.gen {
+			return
+		}
+		f.roundLeft = n
+		f.target = f.conn.Delivered() + uint64(n)
+		f.inFlight = true
+		f.conn.Write(n)
+	})
+}
+
+func (f *fallbackLoader) onBytes(gen int) {
+	if f.done || gen != f.gen || !f.inFlight || f.conn.Delivered() < f.target {
+		return
+	}
+	f.inFlight = false
+	if f.round < f.cfg.Rounds {
+		f.nextRound()
+		return
+	}
+	f.pageActive = false
+	f.loads = append(f.loads, f.sim.Now()-f.pageStart)
+	f.sim.After(f.cfg.Gap, f.startPage)
+}
+
+// RunTransportComparison contrasts the host-transport options the paper
+// discusses for CellBricks mobility: deployed MPTCP (500 ms wait),
+// modified MPTCP (wait removed), QUIC connection migration, and plain TCP
+// with L7 restart — all on the same drive.
+type TransportComparison struct {
+	Label   string
+	WebLoad time.Duration
+	Pages   int
+}
+
+// RunTransportComparisonAll runs the web workload under each transport.
+func RunTransportComparisonAll(seed int64, dur time.Duration) []TransportComparison {
+	if dur == 0 {
+		dur = 8 * time.Minute
+	}
+	base := Scenario{Route: trace.Downtown, Night: true, Arch: ArchCellBricks, Seed: seed, Duration: dur}
+
+	var out []TransportComparison
+	run := func(label string, res apps.WebResult) {
+		out = append(out, TransportComparison{Label: label, WebLoad: res.AvgLoad, Pages: res.Pages})
+	}
+
+	mptcpDeployed := base
+	run("MPTCP (500ms wait)", RunWeb(mptcpDeployed))
+
+	mptcpMod := base
+	mptcpMod.MPTCPWait = time.Nanosecond
+	run("MPTCP (wait removed)", RunWeb(mptcpMod))
+
+	quic := base
+	quic.Protocol = mptcp.ProtoQUIC
+	quic.MPTCPWait = time.Nanosecond
+	run("QUIC migration", RunWeb(quic))
+
+	run("TCP + L7 restart", RunWebFallback(base))
+	return out
+}

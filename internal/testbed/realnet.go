@@ -1,0 +1,236 @@
+package testbed
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cellbricks/internal/aka"
+	"cellbricks/internal/billing"
+	"cellbricks/internal/broker"
+	"cellbricks/internal/epc"
+	"cellbricks/internal/orc8r"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/qos"
+	"cellbricks/internal/sap"
+	"cellbricks/internal/ue"
+	"cellbricks/internal/wire"
+)
+
+// RealDeployment is the loopback-TCP testbed: brokerd and the subscriber
+// database run as real wire-protocol servers (as they would in the cloud),
+// the AGW runs as a real NAS server, and UEs dial in over TCP where the
+// radio would be. This is the §5 prototype topology: UE | eNodeB+EPC |
+// brokerd, minus the SDR.
+type RealDeployment struct {
+	CA     *pki.CA
+	Broker *broker.Brokerd
+	AGW    *epc.AGW
+	SDB    *epc.SubscriberDB
+
+	BrokerSrv *broker.Server
+	SDBSrv    *epc.SDBServer
+	NASSrv    *epc.NASServer
+	Orc       *orc8r.Orchestrator
+	OrcSrv    *orc8r.Server
+	orcClient *orc8r.Client
+
+	brokerKey *pki.KeyPair
+	telco     *sap.TelcoState
+	ranSeq    atomic.Uint64
+}
+
+// wireDirectory resolves broker IDs to wire clients.
+type wireDirectory struct {
+	id   string
+	addr string
+	pub  pki.PublicIdentity
+}
+
+func (d wireDirectory) Lookup(idB string) (epc.BrokerClient, pki.PublicIdentity, error) {
+	if idB != d.id {
+		return nil, pki.PublicIdentity{}, fmt.Errorf("testbed: unknown broker %q", idB)
+	}
+	c, err := broker.DialClient(d.addr)
+	if err != nil {
+		return nil, pki.PublicIdentity{}, err
+	}
+	return c, d.pub, nil
+}
+
+// NewRealDeployment starts all three servers on loopback.
+func NewRealDeployment() (*RealDeployment, error) {
+	d := &RealDeployment{}
+	var err error
+	if d.CA, err = pki.NewCAFromSeed("real-ca", bytes.Repeat([]byte{61}, 32)); err != nil {
+		return nil, err
+	}
+	if d.brokerKey, err = pki.KeyPairFromSeed(bytes.Repeat([]byte{62}, 32)); err != nil {
+		return nil, err
+	}
+	cfg := broker.DefaultConfig("broker.real", d.brokerKey, d.CA.Public())
+	d.Broker = broker.New(cfg)
+	if d.BrokerSrv, err = broker.Serve(d.Broker, "127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+
+	d.SDB = epc.NewSubscriberDB()
+	if d.SDBSrv, err = epc.ServeSDB(d.SDB, "127.0.0.1:0"); err != nil {
+		d.BrokerSrv.Close()
+		return nil, err
+	}
+
+	telcoKey, err := pki.KeyPairFromSeed(bytes.Repeat([]byte{63}, 32))
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	now := time.Now()
+	cert := d.CA.Issue("btelco-real", "btelco", telcoKey.Public(), now.Add(-time.Hour), now.Add(24*time.Hour))
+	d.telco = &sap.TelcoState{
+		IDT: "btelco-real", Key: telcoKey, Cert: cert,
+		Terms: sap.ServiceTerms{Cap: qos.DefaultCapability(), PricePerGB: 2.0},
+	}
+
+	sdbClient, err := epc.DialSDB(d.SDBSrv.Addr())
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.AGW = epc.NewAGW(epc.AGWConfig{
+		Telco:       d.telco,
+		Subscribers: sdbClient,
+		Brokers: wireDirectory{
+			id:   d.Broker.ID(),
+			addr: d.BrokerSrv.Addr(),
+			pub:  d.Broker.Public(),
+		},
+	})
+	if d.NASSrv, err = epc.ServeNAS(d.AGW, "127.0.0.1:0"); err != nil {
+		d.Close()
+		return nil, err
+	}
+
+	// Orchestrator: the AGW registers and will heartbeat on demand.
+	d.Orc = orc8r.New(orc8r.AGWConfigPush{})
+	if d.OrcSrv, err = orc8r.Serve(d.Orc, "127.0.0.1:0"); err != nil {
+		d.Close()
+		return nil, err
+	}
+	if d.orcClient, err = orc8r.DialClient(d.OrcSrv.Addr()); err != nil {
+		d.Close()
+		return nil, err
+	}
+	if _, err := d.orcClient.Register("agw-real", d.telco.IDT, d.NASSrv.Addr()); err != nil {
+		d.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// SendHeartbeat reports the AGW's current counters to the orchestrator
+// over the wire and returns the configuration it got back.
+func (d *RealDeployment) SendHeartbeat(at time.Duration) (orc8r.AGWConfigPush, error) {
+	st := d.AGW.Stats()
+	return d.orcClient.Heartbeat(orc8r.Heartbeat{
+		AGWID:          "agw-real",
+		At:             at,
+		ActiveSessions: uint32(st.ActiveSessions),
+		ULBytes:        st.ULBytes,
+		DLBytes:        st.DLBytes,
+		Attaches:       st.Attaches,
+		AttachFailures: st.AttachFailures,
+	})
+}
+
+// Close stops all servers.
+func (d *RealDeployment) Close() {
+	if d.orcClient != nil {
+		d.orcClient.Close()
+	}
+	if d.OrcSrv != nil {
+		d.OrcSrv.Close()
+	}
+	if d.NASSrv != nil {
+		d.NASSrv.Close()
+	}
+	if d.SDBSrv != nil {
+		d.SDBSrv.Close()
+	}
+	if d.BrokerSrv != nil {
+		d.BrokerSrv.Close()
+	}
+}
+
+// TelcoID returns the deployed bTelco identifier.
+func (d *RealDeployment) TelcoID() string { return d.telco.IDT }
+
+// NewCellBricksUE provisions a CellBricks device with the broker and
+// returns it along with a NAS transport dialled over real TCP.
+func (d *RealDeployment) NewCellBricksUE() (*ue.Device, ue.NASTransport, error) {
+	key, err := pki.GenerateKeyPair()
+	if err != nil {
+		return nil, nil, err
+	}
+	idU := d.Broker.RegisterUser(key.Public())
+	ranID := fmt.Sprintf("real-ue-%d", d.ranSeq.Add(1))
+	dev := ue.NewDevice(ranID, nil, &sap.UEState{
+		IDU: idU, IDB: d.Broker.ID(), Key: key, BrokerPub: d.Broker.Public(),
+	})
+	tx, err := d.dialNAS(ranID)
+	return dev, tx, err
+}
+
+// NewLegacyUE provisions a legacy SIM in the SDB and returns the device
+// and transport.
+func (d *RealDeployment) NewLegacyUE(imsi string) (*ue.Device, ue.NASTransport, error) {
+	k, err := aka.NewK()
+	if err != nil {
+		return nil, nil, err
+	}
+	d.SDB.Provision(imsi, k, epc.SubscriberProfile{QoS: qos.DefaultParams(), APN: "internet"})
+	ranID := fmt.Sprintf("real-legacy-%d", d.ranSeq.Add(1))
+	dev := ue.NewDevice(ranID, &aka.SIM{K: k, IMSI: imsi}, nil)
+	tx, err := d.dialNAS(ranID)
+	return dev, tx, err
+}
+
+func (d *RealDeployment) dialNAS(ranID string) (ue.NASTransport, error) {
+	client, err := wire.Dial(d.NASSrv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	return func(envelope []byte) ([]byte, error) {
+		_, reply, err := client.Call(wire.TypeNAS, epc.EncodeNASCall(ranID, envelope))
+		return reply, err
+	}, nil
+}
+
+// UploadUEReport sends a UE baseband report to brokerd over the wire.
+func (d *RealDeployment) UploadUEReport(dev *ue.Device, rel time.Duration) error {
+	env, err := dev.Meter.Report(rel)
+	if err != nil {
+		return err
+	}
+	c, err := broker.DialClient(d.BrokerSrv.Addr())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.UploadReport(env)
+}
+
+// UploadTelcoReport sends the AGW-side report for a session.
+func (d *RealDeployment) UploadTelcoReport(sessionID uint64, rel time.Duration) error {
+	env, err := d.AGW.GenerateReport(sessionID, rel, billing.QoSMetrics{})
+	if err != nil {
+		return err
+	}
+	c, err := broker.DialClient(d.BrokerSrv.Addr())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.UploadReport(env)
+}

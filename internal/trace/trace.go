@@ -1,0 +1,139 @@
+// Package trace provides the mobility and operator-behaviour traces behind
+// the paper's emulation: the three drive routes (suburb, downtown,
+// highway) with day/night speeds calibrated to the measured mean time to
+// handover (MTTHO, Table 1), and the T-Mobile-like bimodal rate-limiting
+// schedule (Appendix A).
+package trace
+
+import (
+	"math/rand"
+	"time"
+
+	"cellbricks/internal/netem"
+)
+
+// Route describes a drive: tower spacing and typical speeds. MTTHO =
+// spacing / speed reproduces Table 1's measured values.
+type Route struct {
+	Name          string
+	TowerSpacingM float64
+	DaySpeedMps   float64
+	NightSpeedMps float64
+	// Radio conditions along the route. Loss is the *residual* end-to-end
+	// packet loss TCP sees after HARQ/RLC local retransmission hides the
+	// radio-layer losses (which are what billing QoS metrics report).
+	Loss   float64
+	Jitter time.Duration
+	Delay  time.Duration // one-way UE<->server baseline
+}
+
+// The three routes of Table 1, calibrated so MTTHO matches the paper:
+// suburb 73.5 s day / 65.6 s night, downtown 68.2/50.6, highway 44.7/25.5.
+var (
+	Suburb = Route{
+		Name: "suburb", TowerSpacingM: 800,
+		DaySpeedMps: 800 / 73.50, NightSpeedMps: 800 / 65.60,
+		Loss: 0.00015, Jitter: 3 * time.Millisecond, Delay: 23 * time.Millisecond,
+	}
+	Downtown = Route{
+		Name: "downtown", TowerSpacingM: 600,
+		DaySpeedMps: 600 / 68.16, NightSpeedMps: 600 / 50.60,
+		Loss: 0.00025, Jitter: 4 * time.Millisecond, Delay: 24 * time.Millisecond,
+	}
+	Highway = Route{
+		Name: "highway", TowerSpacingM: 1300,
+		DaySpeedMps: 1300 / 44.72, NightSpeedMps: 1300 / 25.50,
+		Loss: 0.00020, Jitter: 3 * time.Millisecond, Delay: 22 * time.Millisecond,
+	}
+)
+
+// Routes lists all three in Table 1 order.
+func Routes() []Route { return []Route{Suburb, Downtown, Highway} }
+
+// Speed returns the route speed for the time of day.
+func (r Route) Speed(night bool) float64 {
+	if night {
+		return r.NightSpeedMps
+	}
+	return r.DaySpeedMps
+}
+
+// MTTHO is the mean time between handovers.
+func (r Route) MTTHO(night bool) time.Duration {
+	return time.Duration(r.TowerSpacingM / r.Speed(night) * float64(time.Second))
+}
+
+// Handovers draws handover instants over a window: inter-handover times
+// are MTTHO scaled by a ±35% uniform factor (tower spacing and speed both
+// vary along a real route).
+func (r Route) Handovers(rng *rand.Rand, night bool, dur time.Duration) []time.Duration {
+	mean := r.MTTHO(night)
+	var out []time.Duration
+	t := time.Duration(float64(mean) * (0.3 + 0.7*rng.Float64())) // first tower crossing partway in
+	for t < dur {
+		out = append(out, t)
+		factor := 0.65 + 0.7*rng.Float64()
+		t += time.Duration(float64(mean) * factor)
+	}
+	return out
+}
+
+// Operator bundles the rate policy with the route conditions to build the
+// emulated cellular path. Its policer state is per-subscriber and
+// *persists across handovers* — the rate limiter is keyed to the SIM at
+// the operator's packet gateway, not to the serving tower, so a
+// re-attachment earns only the token credit of the outage itself.
+type Operator struct {
+	Policy *netem.DayNightPolicy
+
+	shapers map[string][2]*netem.Shaper
+}
+
+// NewOperator creates the T-Mobile-like operator model.
+func NewOperator(seed int64) *Operator {
+	return &Operator{
+		Policy:  netem.NewDefaultDayNightPolicy(seed),
+		shapers: make(map[string][2]*netem.Shaper),
+	}
+}
+
+// CellularLink builds the UE<->server path for a route under this
+// operator: base propagation delay and radio loss from the route, the
+// day/night policer as the bottleneck, and a deep (cellular-style) buffer.
+// night selects the emulation's time-of-day offset.
+func (o *Operator) CellularLink(r Route, night bool) *netem.Link {
+	policy := *o.Policy
+	if night {
+		// Re-anchor the virtual clock so sim time 0 is 01:00.
+		policy.ClockStart = 1 * time.Hour
+	} else {
+		policy.ClockStart = 13 * time.Hour
+	}
+	p := policy // capture the adjusted copy
+	key := r.Name
+	if night {
+		key += "/night"
+	}
+	pair, ok := o.shapers[key]
+	if !ok {
+		mkShaper := func() *netem.Shaper {
+			// The token bucket (~1.2 MB) lets a sender that idled — e.g.
+			// through a CellBricks re-attachment — briefly burst above
+			// the policed rate: the mechanism behind the paper's
+			// post-handover throughput overshoot (Figs. 8-9).
+			sh := netem.NewShaper(p.Rate, 1200*1024, 0)
+			sh.MaxQueueTime = 600 * time.Millisecond
+			return sh
+		}
+		pair = [2]*netem.Shaper{mkShaper(), mkShaper()}
+		o.shapers[key] = pair
+	}
+	return &netem.Link{
+		Delay:    r.Delay,
+		Jitter:   r.Jitter,
+		Loss:     r.Loss,
+		MaxQueue: 2 * time.Second,
+		ShaperAB: pair[0],
+		ShaperBA: pair[1],
+	}
+}

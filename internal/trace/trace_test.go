@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestMTTHOMatchesPaper(t *testing.T) {
+	cases := []struct {
+		route Route
+		night bool
+		want  float64 // seconds, Table 1
+	}{
+		{Suburb, false, 73.50}, {Suburb, true, 65.60},
+		{Downtown, false, 68.16}, {Downtown, true, 50.60},
+		{Highway, false, 44.72}, {Highway, true, 25.50},
+	}
+	for _, c := range cases {
+		got := c.route.MTTHO(c.night).Seconds()
+		if got < c.want*0.99 || got > c.want*1.01 {
+			t.Errorf("%s night=%v MTTHO = %.2fs, want %.2fs", c.route.Name, c.night, got, c.want)
+		}
+	}
+}
+
+func TestHandoversMeanInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dur := 4 * time.Hour
+	hos := Downtown.Handovers(rng, true, dur)
+	if len(hos) < 100 {
+		t.Fatalf("only %d handovers in %v", len(hos), dur)
+	}
+	mean := (hos[len(hos)-1] - hos[0]).Seconds() / float64(len(hos)-1)
+	want := Downtown.MTTHO(true).Seconds()
+	if mean < 0.9*want || mean > 1.1*want {
+		t.Fatalf("mean interval %.1fs, want ~%.1fs", mean, want)
+	}
+	// Monotonic and within the window.
+	for i := 1; i < len(hos); i++ {
+		if hos[i] <= hos[i-1] {
+			t.Fatal("handover times not increasing")
+		}
+	}
+	if hos[len(hos)-1] >= dur {
+		t.Fatal("handover beyond window")
+	}
+}
+
+func TestFasterAtNightWhereMeasured(t *testing.T) {
+	// The paper observed lower MTTHO at night (faster driving).
+	for _, r := range Routes() {
+		if r.MTTHO(true) >= r.MTTHO(false) {
+			t.Errorf("%s: night MTTHO %v >= day %v", r.Name, r.MTTHO(true), r.MTTHO(false))
+		}
+	}
+}
+
+func TestCellularLinkPolicies(t *testing.T) {
+	op := NewOperator(7)
+	day := op.CellularLink(Downtown, false)
+	night := op.CellularLink(Downtown, true)
+	if day.ShaperAB == nil || night.ShaperAB == nil {
+		t.Fatal("links missing shapers")
+	}
+	// At sim time 0, the day link polices at the hard cap; the night link
+	// runs in the high mode.
+	dayRate := day.ShaperAB.Rate(0)
+	nightRate := night.ShaperAB.Rate(0)
+	if dayRate != op.Policy.DayRateBps {
+		t.Fatalf("day rate %v", dayRate)
+	}
+	if nightRate <= 2*dayRate {
+		t.Fatalf("night rate %v not clearly higher than day %v", nightRate, dayRate)
+	}
+}

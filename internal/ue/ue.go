@@ -1,0 +1,450 @@
+// Package ue implements the user-equipment host stack (the srsUE
+// equivalent): the SIM state for both architectures (legacy AKA shared
+// secret, and the CellBricks key pair + broker public key), the attach /
+// detach drivers over a NAS transport, and the tamper-resistant baseband
+// traffic meter that produces the UE side of the verifiable billing
+// reports (§4.3).
+package ue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cellbricks/internal/aka"
+	"cellbricks/internal/billing"
+	"cellbricks/internal/nas"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/sap"
+)
+
+// NASTransport carries one NAS envelope uplink and returns the downlink
+// reply — the radio + S1 path, real socket or simulated.
+type NASTransport func(envelope []byte) ([]byte, error)
+
+// Errors from attach processing.
+var (
+	ErrRejected    = errors.New("ue: attach rejected")
+	ErrUnexpected  = errors.New("ue: unexpected NAS message")
+	ErrNotAttached = errors.New("ue: not attached")
+)
+
+// Attachment is the result of a successful attach.
+type Attachment struct {
+	SessionID uint64
+	IP        string
+	BearerID  uint32
+	QCI       byte
+	DLAmbrBps uint64
+	ULAmbrBps uint64
+}
+
+// Device is one UE.
+type Device struct {
+	RANID string
+
+	// Legacy SIM state (nil when the device is CellBricks-only).
+	Legacy *aka.SIM
+	// CellBricks SIM state (nil when legacy-only). Both set = the
+	// dual-stack incremental-deployment mode of §3.1.
+	CB *sap.UEState
+
+	// Meter is the baseband measurement function.
+	Meter *BasebandMeter
+
+	mu     sync.Mutex
+	ctx    *nas.SecurityContext
+	attach *Attachment
+}
+
+// NewDevice builds a device. key is the broker-issued UE key (also the
+// baseband report-signing key); brokerPub is embedded in the SIM.
+func NewDevice(ranID string, legacy *aka.SIM, cb *sap.UEState) *Device {
+	d := &Device{RANID: ranID, Legacy: legacy, CB: cb}
+	if cb != nil {
+		d.Meter = NewBasebandMeter(cb.Key, cb.BrokerPub)
+	}
+	return d
+}
+
+// Attached returns the live attachment, or nil.
+func (d *Device) Attached() *Attachment {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.attach
+}
+
+// Context returns the NAS security context (nil before attach).
+func (d *Device) Context() *nas.SecurityContext {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ctx
+}
+
+func plainEnvelope(m nas.Message) []byte { return append([]byte{0}, nas.Encode(m)...) }
+
+func (d *Device) protectedEnvelope(m nas.Message) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ctx == nil {
+		return nil, ErrNotAttached
+	}
+	return append([]byte{1}, d.ctx.Protect(nas.Uplink, nas.Encode(m))...), nil
+}
+
+// decodeReply unwraps a downlink envelope, unprotecting when flagged.
+func (d *Device) decodeReply(envelope []byte) (nas.Message, error) {
+	if len(envelope) == 0 {
+		return nil, nas.ErrTooShort
+	}
+	body := envelope[1:]
+	if envelope[0] == 1 {
+		d.mu.Lock()
+		ctx := d.ctx
+		d.mu.Unlock()
+		if ctx == nil {
+			return nil, ErrNotAttached
+		}
+		pt, err := ctx.Unprotect(nas.Downlink, body)
+		if err != nil {
+			return nil, err
+		}
+		body = pt
+	}
+	return nas.Decode(body)
+}
+
+// AttachLegacy runs the baseline EPS attach: identify by IMSI, answer the
+// AKA challenge, complete SMC under the derived context, receive accept.
+func (d *Device) AttachLegacy(tx NASTransport) (*Attachment, error) {
+	if d.Legacy == nil {
+		return nil, errors.New("ue: no legacy SIM")
+	}
+	reply, err := tx(plainEnvelope(&nas.AttachRequestLegacy{IMSI: d.Legacy.IMSI, Capabilities: 7}))
+	if err != nil {
+		return nil, err
+	}
+	msg, err := d.decodeReply(reply)
+	if err != nil {
+		return nil, err
+	}
+	challenge, ok := msg.(*nas.AuthenticationRequest)
+	if !ok {
+		return nil, rejectOr(msg)
+	}
+	res, kasme, err := d.Legacy.Answer(challenge.RAND, challenge.AUTN)
+	if err != nil {
+		return nil, fmt.Errorf("ue: network authentication: %w", err)
+	}
+	reply, err = tx(plainEnvelope(&nas.AuthenticationResponse{RES: res}))
+	if err != nil {
+		return nil, err
+	}
+	msg, err = d.decodeReply(reply)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := msg.(*nas.SecurityModeCommand); !ok {
+		return nil, rejectOr(msg)
+	}
+	d.mu.Lock()
+	d.ctx = nas.NewSecurityContext(kasme)
+	d.mu.Unlock()
+	env, err := d.protectedEnvelope(&nas.SecurityModeComplete{})
+	if err != nil {
+		return nil, err
+	}
+	reply, err = tx(env)
+	if err != nil {
+		return nil, err
+	}
+	msg, err = d.decodeReply(reply)
+	if err != nil {
+		return nil, err
+	}
+	accept, ok := msg.(*nas.AttachAccept)
+	if !ok {
+		return nil, rejectOr(msg)
+	}
+	return d.install(accept), nil
+}
+
+// AttachSAP runs the CellBricks attach against bTelco idT: one exchange
+// with the network, whose reply carries the broker-sealed authRespU. The
+// shared secret ss then seeds the NAS context (the SMC exchange is
+// subsumed because both sides already hold ss).
+func (d *Device) AttachSAP(tx NASTransport, idT string) (*Attachment, error) {
+	if d.CB == nil {
+		return nil, errors.New("ue: no CellBricks SIM state")
+	}
+	reqU, pending, err := d.CB.NewAttachRequest(idT)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := tx(plainEnvelope(&nas.AttachRequestSAP{BrokerID: d.CB.IDB, AuthReqU: reqU.Marshal()}))
+	if err != nil {
+		return nil, err
+	}
+	msg, err := d.decodeReply(reply)
+	if err != nil {
+		return nil, err
+	}
+	accept, ok := msg.(*nas.AttachAccept)
+	if !ok {
+		return nil, rejectOr(msg)
+	}
+	respU, err := sap.UnmarshalAuthRespU(accept.AuthRespU)
+	if err != nil {
+		return nil, err
+	}
+	ss, uref, err := d.CB.HandleResponse(pending, respU)
+	if err != nil {
+		return nil, fmt.Errorf("ue: broker authentication: %w", err)
+	}
+	d.mu.Lock()
+	d.ctx = nas.NewSecurityContext(ss)
+	d.mu.Unlock()
+	a := d.install(accept)
+	if d.Meter != nil {
+		d.Meter.BindSession(uref)
+	}
+	return a, nil
+}
+
+func (d *Device) install(accept *nas.AttachAccept) *Attachment {
+	a := &Attachment{
+		SessionID: accept.SessionID,
+		IP:        accept.IP,
+		BearerID:  accept.BearerID,
+		QCI:       accept.QCI,
+		DLAmbrBps: accept.DLAmbrBps,
+		ULAmbrBps: accept.ULAmbrBps,
+	}
+	d.mu.Lock()
+	d.attach = a
+	d.mu.Unlock()
+	if d.Meter != nil {
+		d.Meter.StartSession()
+	}
+	return a
+}
+
+// AttachAuto is the dual-stack incremental-deployment mode of §3.1: the
+// device prefers the CellBricks SAP attach and falls back to the legacy
+// EPS-AKA flow when the network (or the broker path) cannot serve it —
+// "UEs run both legacy and SAP authentication protocols in a dual-stack
+// mode."
+func (d *Device) AttachAuto(tx NASTransport, idT string) (*Attachment, error) {
+	if d.CB != nil {
+		a, err := d.AttachSAP(tx, idT)
+		if err == nil {
+			return a, nil
+		}
+		if d.Legacy == nil {
+			return nil, err
+		}
+	}
+	return d.AttachLegacy(tx)
+}
+
+// RequestDedicatedBearer asks the network for an additional bearer of the
+// given QoS class on the current session (e.g. a voice bearer beside the
+// default), over the protected NAS channel.
+func (d *Device) RequestDedicatedBearer(tx NASTransport, qci byte) (uint32, error) {
+	d.mu.Lock()
+	a := d.attach
+	d.mu.Unlock()
+	if a == nil {
+		return 0, ErrNotAttached
+	}
+	env, err := d.protectedEnvelope(&nas.SessionRequest{SessionID: a.SessionID, APN: "internet", QCI: qci})
+	if err != nil {
+		return 0, err
+	}
+	reply, err := tx(env)
+	if err != nil {
+		return 0, err
+	}
+	msg, err := d.decodeReply(reply)
+	if err != nil {
+		return 0, err
+	}
+	accept, ok := msg.(*nas.SessionAccept)
+	if !ok {
+		return 0, rejectOr(msg)
+	}
+	return accept.BearerID, nil
+}
+
+// Detach tears the attachment down (host-driven: "a user simply detaches
+// from one cell tower and independently attaches to a new tower").
+func (d *Device) Detach(tx NASTransport) error {
+	d.mu.Lock()
+	a := d.attach
+	d.mu.Unlock()
+	if a == nil {
+		return ErrNotAttached
+	}
+	env, err := d.protectedEnvelope(&nas.DetachRequest{SessionID: a.SessionID})
+	if err != nil {
+		return err
+	}
+	reply, err := tx(env)
+	if err != nil {
+		return err
+	}
+	msg, err := d.decodeReply(reply)
+	if err != nil {
+		return err
+	}
+	if _, ok := msg.(*nas.DetachAccept); !ok {
+		return rejectOr(msg)
+	}
+	d.mu.Lock()
+	d.ctx = nil
+	d.attach = nil
+	d.mu.Unlock()
+	return nil
+}
+
+func rejectOr(msg nas.Message) error {
+	if rej, ok := msg.(*nas.AttachReject); ok {
+		return fmt.Errorf("%w: %s", ErrRejected, rej.Cause)
+	}
+	return fmt.Errorf("%w: %T", ErrUnexpected, msg)
+}
+
+// BasebandMeter is the tamper-resistant measurement function the paper
+// embeds in baseband firmware: it counts the session's traffic (PDCP-like
+// byte counters), tracks QoS observations (RLC-like loss, delay), and
+// emits reports signed and sealed *inside* the trust boundary — the OS
+// side only ever sees the sealed envelope.
+type BasebandMeter struct {
+	key       *pki.KeyPair
+	brokerPub pki.PublicIdentity
+
+	mu         sync.Mutex
+	sessionRef string
+	seq        uint32
+	ulBytes    uint64
+	dlBytes    uint64
+	dlRecv     uint64
+	dlLost     uint64
+	delaySumMs float64
+	delayN     int
+	callSecs   float64
+	smsCount   uint32
+}
+
+// NewBasebandMeter builds a meter bound to the device key and broker.
+func NewBasebandMeter(key *pki.KeyPair, brokerPub pki.PublicIdentity) *BasebandMeter {
+	return &BasebandMeter{key: key, brokerPub: brokerPub}
+}
+
+// StartSession resets counters for a new attachment. The session
+// reference is learned later (BindSession) because SAP keeps the UE
+// anonymous to the bTelco; the broker's authRespU could carry it, but the
+// paper's reports are keyed by session identifier agreed out of band — we
+// bind via the broker's grant record in the harness.
+func (m *BasebandMeter) StartSession() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionRef = ""
+	m.seq = 0
+	m.ulBytes, m.dlBytes, m.dlRecv, m.dlLost = 0, 0, 0, 0
+	m.delaySumMs, m.delayN = 0, 0
+	m.callSecs, m.smsCount = 0, 0
+}
+
+// BindSession sets the session reference used in reports.
+func (m *BasebandMeter) BindSession(ref string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionRef = ref
+}
+
+// CountUL records transmitted bytes.
+func (m *BasebandMeter) CountUL(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ulBytes += uint64(n)
+}
+
+// CountDL records received bytes.
+func (m *BasebandMeter) CountDL(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dlBytes += uint64(n)
+	m.dlRecv++
+}
+
+// CountDLLoss records radio-layer losses observed by the baseband (RLC
+// sequence gaps).
+func (m *BasebandMeter) CountDLLoss(packets int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dlLost += uint64(packets)
+}
+
+// AddCallSeconds records voice-call airtime (the "duration for phone
+// call" field of the paper's traffic report).
+func (m *BasebandMeter) AddCallSeconds(s float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.callSecs += s
+}
+
+// CountSMS records sent/received SMS events.
+func (m *BasebandMeter) CountSMS(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.smsCount += uint32(n)
+}
+
+// ObserveDelay records a delay sample in milliseconds.
+func (m *BasebandMeter) ObserveDelay(ms float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.delaySumMs += ms
+	m.delayN++
+}
+
+// Snapshot returns current usage (ul, dl bytes).
+func (m *BasebandMeter) Snapshot() (ul, dl uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ulBytes, m.dlBytes
+}
+
+// Report emits the next sealed traffic report at relative time rel. It is
+// signed with the device key and sealed to the broker before leaving the
+// "baseband", so neither the OS nor the bTelco can alter it.
+func (m *BasebandMeter) Report(rel time.Duration) (*billing.SealedReport, error) {
+	m.mu.Lock()
+	m.seq++
+	lossRate := 0.0
+	if m.dlRecv+m.dlLost > 0 {
+		lossRate = float64(m.dlLost) / float64(m.dlRecv+m.dlLost)
+	}
+	delay := 0.0
+	if m.delayN > 0 {
+		delay = m.delaySumMs / float64(m.delayN)
+	}
+	r := &billing.Report{
+		SessionRef: m.sessionRef,
+		Reporter:   billing.ReporterUE,
+		Seq:        m.seq,
+		Rel:        rel,
+		ULBytes:    m.ulBytes,
+		DLBytes:    m.dlBytes,
+		CallSecs:   m.callSecs,
+		SMSCount:   m.smsCount,
+		QoS: billing.QoSMetrics{
+			DLLossRate: lossRate,
+			DLDelayMs:  delay,
+		},
+	}
+	m.mu.Unlock()
+	return billing.Seal(r, m.key, m.brokerPub)
+}

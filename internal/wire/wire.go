@@ -1,0 +1,228 @@
+// Package wire is the length-prefixed framing and minimal request/response
+// RPC used between the real-socket components of the testbed: UE <-> AGW
+// (standing in for the radio + S1 interface) and AGW <-> brokerd /
+// SubscriberDB (the S6A-like northbound). Stdlib only.
+//
+// Frame layout: length(4, big-endian, covers type+payload) || type(1) ||
+// payload. Each Call writes one frame and reads one frame; the server
+// serves calls on a connection strictly in order, which matches the
+// signalling protocols modelled here.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrame bounds a frame to keep a misbehaving peer from ballooning
+// memory.
+const MaxFrame = 1 << 20
+
+// Message type bytes for the CellBricks control protocols.
+const (
+	// bTelco/AGW -> brokerd
+	TypeSAPAuthRequest byte = iota + 1
+	TypeSAPAuthResponse
+
+	// UE/bTelco -> brokerd billing ingestion
+	TypeReportUpload
+	TypeReportAck
+
+	// AGW -> SubscriberDB (legacy S6A-like, two round trips)
+	TypeAIR // Authentication Information Request
+	TypeAIA // Authentication Information Answer
+	TypeULR // Update Location Request
+	TypeULA // Update Location Answer
+
+	// UE -> AGW NAS transport
+	TypeNAS
+	TypeNASReply
+
+	// Generic error reply: payload is a UTF-8 message.
+	TypeError
+)
+
+// Errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrClosed        = errors.New("wire: connection closed")
+)
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+1))
+	hdr[4] = msgType
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Handler serves one request frame, returning the reply frame. Returning
+// an error sends a TypeError frame with the error text.
+type Handler func(msgType byte, payload []byte) (replyType byte, reply []byte, err error)
+
+// Server accepts connections and serves frames with a Handler.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewServer starts a server on addr ("127.0.0.1:0" for tests). The
+// returned server is already accepting.
+func NewServer(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				// Transient accept error; listener errors after Close land
+				// in the done case above.
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		msgType, payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		replyType, reply, err := s.handler(msgType, payload)
+		if err != nil {
+			replyType, reply = TypeError, []byte(err.Error())
+		}
+		if err := WriteFrame(conn, replyType, reply); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and closes all connections, waiting for handler
+// goroutines to drain.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}
+
+// Client is a synchronous request/response client over one TCP connection.
+// Safe for concurrent use; calls serialize.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects a client.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Call sends one frame and waits for the reply. A TypeError reply is
+// surfaced as an error.
+func (c *Client) Call(msgType byte, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0, nil, ErrClosed
+	}
+	if err := WriteFrame(c.conn, msgType, payload); err != nil {
+		return 0, nil, err
+	}
+	replyType, reply, err := ReadFrame(c.conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	if replyType == TypeError {
+		return replyType, nil, fmt.Errorf("wire: remote error: %s", reply)
+	}
+	return replyType, reply, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func echoServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0", func(mt byte, p []byte) (byte, []byte, error) {
+		switch mt {
+		case TypeNAS:
+			return TypeNASReply, p, nil
+		case TypeAIR:
+			return TypeAIA, append([]byte("aia:"), p...), nil
+		default:
+			return 0, nil, fmt.Errorf("boom %d", mt)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, c := echoServer(t)
+	rt, reply, err := c.Call(TypeNAS, []byte("attach"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != TypeNASReply || string(reply) != "attach" {
+		t.Fatalf("reply = %d %q", rt, reply)
+	}
+}
+
+func TestCallDifferentTypes(t *testing.T) {
+	_, c := echoServer(t)
+	rt, reply, err := c.Call(TypeAIR, []byte("imsi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != TypeAIA || string(reply) != "aia:imsi" {
+		t.Fatalf("reply = %d %q", rt, reply)
+	}
+}
+
+func TestCallServerError(t *testing.T) {
+	_, c := echoServer(t)
+	_, _, err := c.Call(TypeULR, nil)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want remote boom", err)
+	}
+	// Connection survives an application error.
+	if _, _, err := c.Call(TypeNAS, []byte("ok")); err != nil {
+		t.Fatalf("call after error: %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	_, c := echoServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("msg-%d", i))
+			_, reply, err := c.Call(TypeNAS, payload)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(reply, payload) {
+				errs <- fmt.Errorf("cross-talk: sent %q got %q", payload, reply)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	s, _ := echoServer(t)
+	for i := 0; i < 5; i++ {
+		c, err := Dial(s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, reply, err := c.Call(TypeNAS, []byte{byte(i)}); err != nil || reply[0] != byte(i) {
+			t.Fatalf("client %d: %v %v", i, reply, err)
+		}
+		c.Close()
+	}
+}
+
+func TestFrameCodec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeNAS, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	mt, p, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != TypeNAS || string(p) != "payload" {
+		t.Fatalf("frame = %d %q", mt, p)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeReportAck, nil); err != nil {
+		t.Fatal(err)
+	}
+	mt, p, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != TypeReportAck || len(p) != 0 {
+		t.Fatalf("frame = %d %q", mt, p)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeNAS, make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	// A malicious length prefix is rejected on read.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, TypeNAS})
+	if _, _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("read err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, TypeNAS, []byte("hello"))
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	_, c := echoServer(t)
+	c.Close()
+	if _, _, err := c.Call(TypeNAS, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s, c := echoServer(t)
+	s.Close()
+	if _, _, err := c.Call(TypeNAS, []byte("x")); err == nil {
+		t.Fatal("call to closed server succeeded")
+	}
+}
