@@ -26,15 +26,9 @@ import (
 // for the three SubscriberDB/brokerd placements.
 func BenchmarkFig7AttachLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		var results []testbed.AttachBenchResult
-		for _, place := range testbed.Placements() {
-			for _, arch := range []testbed.Arch{testbed.ArchBaseline, testbed.ArchCellBricks} {
-				r, err := testbed.RunAttachBench(arch, place, 100)
-				if err != nil {
-					b.Fatal(err)
-				}
-				results = append(results, r)
-			}
+		results, err := testbed.RunFig7(100, testbed.Runner{})
+		if err != nil {
+			b.Fatal(err)
 		}
 		if i == 0 {
 			b.Log("\n" + testbed.RenderFig7(results))
@@ -70,7 +64,7 @@ func BenchmarkFig8Timeline(b *testing.B) {
 // unmodified 500 ms-wait MPTCP.
 func BenchmarkFig9AttachSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := testbed.RunFig9(3, 2)
+		r := testbed.RunFig9(3, 2, testbed.Runner{})
 		if i == 0 {
 			b.Log("\n" + r.Render())
 		}
@@ -244,7 +238,7 @@ func BenchmarkAblationSoftHandover(b *testing.B) {
 // deployed/modified, QUIC migration, TCP + L7 restart) on web loads.
 func BenchmarkAblationTransports(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := testbed.RunTransportComparisonAll(5, 5*time.Minute)
+		res := testbed.RunTransportComparisonAll(5, 5*time.Minute, testbed.Runner{})
 		if i == 0 {
 			var lines string
 			for _, c := range res {
@@ -258,10 +252,7 @@ func BenchmarkAblationTransports(b *testing.B) {
 // BenchmarkScaleSharedCell sweeps the UE count on one 50 Mbps cell.
 func BenchmarkScaleSharedCell(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		var results []testbed.ScaleResult
-		for _, n := range []int{1, 4, 16, 64} {
-			results = append(results, testbed.RunScale(17, n, 50e6, 30*time.Second))
-		}
+		results := testbed.RunScaleSweep(17, []int{1, 4, 16, 64}, 50e6, 30*time.Second, testbed.Runner{})
 		if i == 0 {
 			b.Log("\n" + testbed.RenderScale(results))
 		}

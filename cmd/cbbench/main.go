@@ -9,13 +9,21 @@
 //	cbbench -exp all
 //
 // Flags tune the emulated duration, trials and seed; results print the
-// same rows/series the paper reports.
+// same rows/series the paper reports. Independent simulations within an
+// experiment fan out over -workers goroutines (default: GOMAXPROCS) with
+// output byte-identical to -seq; -json appends a machine-readable record
+// of each experiment's wall time, allocations, and headline metrics to
+// BENCH_<date>.json, building a benchmark trajectory across commits.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"cellbricks/internal/testbed"
@@ -25,97 +33,223 @@ import (
 // testbedDowntown avoids importing trace at every call site.
 func testbedDowntown() trace.Route { return trace.Downtown }
 
+// expRecord is one experiment's entry in the bench-trajectory file.
+type expRecord struct {
+	Name         string             `json:"name"`
+	WallMS       float64            `json:"wall_ms"`
+	Mallocs      uint64             `json:"mallocs"`
+	AllocBytes   uint64             `json:"alloc_bytes"`
+	OutputSHA256 string             `json:"output_sha256"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchRun is one cbbench invocation: its configuration plus every
+// experiment it ran.
+type benchRun struct {
+	Label       string      `json:"label,omitempty"`
+	Date        string      `json:"date"`
+	GoVersion   string      `json:"go_version"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Workers     int         `json:"workers"` // 0 = GOMAXPROCS
+	Sequential  bool        `json:"sequential"`
+	Seed        int64       `json:"seed"`
+	Experiments []expRecord `json:"experiments"`
+}
+
+// benchFile is the on-disk trajectory: successive runs append, so one file
+// carries before/after numbers across commits.
+type benchFile struct {
+	Runs []benchRun `json:"runs"`
+}
+
+func appendBenchRun(path string, run benchRun) error {
+	var f benchFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("%s exists but is not a bench file: %w", path, err)
+		}
+	}
+	f.Runs = append(f.Runs, run)
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig7|table1|fig8|fig9|fig10|transports|scale|billing|all")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	n := flag.Int("n", 100, "fig7: attach repetitions per cell")
-	dur := flag.Duration("dur", 8*time.Minute, "table1: emulated drive time per cell")
+	dur := flag.Duration("dur", 5*time.Minute, "table1: emulated drive time per cell")
 	trials := flag.Int("trials", 3, "fig9: trials per configuration")
+	workers := flag.Int("workers", 0, "worker goroutines for independent simulations (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "run every simulation sequentially (same output, no parallelism)")
+	jsonOut := flag.Bool("json", false, "append wall time/allocs/metrics to the bench-trajectory file")
+	jsonPath := flag.String("json-file", "", "bench-trajectory file (default BENCH_<date>.json)")
+	label := flag.String("label", "", "label for this run in the bench-trajectory file")
 	flag.Parse()
 
-	run := func(name string, f func() error) {
-		fmt.Printf("==== %s ====\n", name)
-		if err := f(); err != nil {
+	runner := testbed.Runner{Workers: *workers, Sequential: *seq}
+	rec := benchRun{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+		Sequential: *seq,
+		Seed:       *seed,
+	}
+
+	// run executes one experiment, prints its rendered output, and (for
+	// -json) records wall time, allocation deltas, and headline metrics.
+	run := func(name, title string, f func() (string, map[string]float64, error)) {
+		fmt.Printf("==== %s ====\n", title)
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		out, metrics, err := f()
+		wall := time.Since(t0)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+		fmt.Print(out)
 		fmt.Println()
+		sum := sha256.Sum256([]byte(out))
+		rec.Experiments = append(rec.Experiments, expRecord{
+			Name:         name,
+			WallMS:       float64(wall.Microseconds()) / 1000,
+			Mallocs:      after.Mallocs - before.Mallocs,
+			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+			OutputSHA256: hex.EncodeToString(sum[:]),
+			Metrics:      metrics,
+		})
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	matched := false
+	want := func(name string) bool {
+		ok := *exp == "all" || *exp == name
+		matched = matched || ok
+		return ok
+	}
 
 	if want("fig7") {
-		run("Fig. 7: attachment latency breakdown (BL = Magma baseline, CB = CellBricks)", func() error {
-			var results []testbed.AttachBenchResult
-			for _, place := range testbed.Placements() {
-				for _, arch := range []testbed.Arch{testbed.ArchBaseline, testbed.ArchCellBricks} {
-					r, err := testbed.RunAttachBench(arch, place, *n)
-					if err != nil {
-						return err
-					}
-					results = append(results, r)
-				}
+		run("fig7", "Fig. 7: attachment latency breakdown (BL = Magma baseline, CB = CellBricks)", func() (string, map[string]float64, error) {
+			results, err := testbed.RunFig7(*n, runner)
+			if err != nil {
+				return "", nil, err
 			}
-			fmt.Print(testbed.RenderFig7(results))
-			return nil
+			m := make(map[string]float64)
+			for _, r := range results {
+				m[fmt.Sprintf("%s_%s_mean_ms", r.Placement.Name, r.Arch)] = r.Mean.Seconds() * 1000
+			}
+			return testbed.RenderFig7(results), m, nil
 		})
 	}
 	if want("table1") {
-		run("Table 1: application performance, MNO vs CellBricks", func() error {
-			res := testbed.RunTable1(testbed.Table1Config{Duration: *dur, Seed: *seed})
-			fmt.Print(res.Render())
-			return nil
+		run("table1", "Table 1: application performance, MNO vs CellBricks", func() (string, map[string]float64, error) {
+			res := testbed.RunTable1(testbed.Table1Config{Duration: *dur, Seed: *seed, Runner: runner})
+			ipD, mosD, vidD, webD := res.Slowdown(false)
+			ipN, mosN, vidN, webN := res.Slowdown(true)
+			m := map[string]float64{
+				"slowdown_day_iperf": ipD, "slowdown_day_voip": mosD,
+				"slowdown_day_video": vidD, "slowdown_day_web": webD,
+				"slowdown_night_iperf": ipN, "slowdown_night_voip": mosN,
+				"slowdown_night_video": vidN, "slowdown_night_web": webN,
+			}
+			return res.Render(), m, nil
 		})
 	}
 	if want("fig8") {
-		run("Fig. 8: iperf throughput around a handover (day, downtown)", func() error {
-			fmt.Print(testbed.RunFig8(*seed, 60*time.Second).Render())
-			return nil
+		run("fig8", "Fig. 8: iperf throughput around a handover (day, downtown)", func() (string, map[string]float64, error) {
+			res := testbed.RunFig8(*seed, 60*time.Second)
+			mnoMean, _, _ := testbed.Stats(res.MNOSeries)
+			cbMean, _, _ := testbed.Stats(res.CBSeries)
+			m := map[string]float64{"mno_mean_mbps": mnoMean / 1e6, "cb_mean_mbps": cbMean / 1e6}
+			return res.Render(), m, nil
 		})
 	}
 	if want("fig9") {
-		run("Fig. 9: relative throughput vs time since handover (night)", func() error {
-			fmt.Print(testbed.RunFig9(*seed, *trials).Render())
-			return nil
+		run("fig9", "Fig. 9: relative throughput vs time since handover (night)", func() (string, map[string]float64, error) {
+			res := testbed.RunFig9(*seed, *trials, runner)
+			m := make(map[string]float64)
+			for _, c := range res.Curves {
+				if len(c.Points) > 0 {
+					m[fmt.Sprintf("relperf_1s[%s]", c.Label)] = c.Points[0].RelPerf
+				}
+			}
+			return res.Render(), m, nil
 		})
 	}
 	if want("transports") {
-		run("Ablation: host transports (MPTCP/QUIC/TCP+L7) web loads", func() error {
-			for _, c := range testbed.RunTransportComparisonAll(*seed, *dur) {
-				fmt.Printf("%-22s %6.2fs over %d pages\n", c.Label, c.WebLoad.Seconds(), c.Pages)
+		run("transports", "Ablation: host transports (MPTCP/QUIC/TCP+L7) web loads", func() (string, map[string]float64, error) {
+			out := ""
+			m := make(map[string]float64)
+			for _, c := range testbed.RunTransportComparisonAll(*seed, *dur, runner) {
+				out += fmt.Sprintf("%-22s %6.2fs over %d pages\n", c.Label, c.WebLoad.Seconds(), c.Pages)
+				m[fmt.Sprintf("webload_s[%s]", c.Label)] = c.WebLoad.Seconds()
 			}
-			return nil
+			return out, m, nil
 		})
 	}
 	if want("billing") {
-		run("Integration: verifiable billing across a full night drive", func() error {
+		run("billing", "Integration: verifiable billing across a full night drive", func() (string, map[string]float64, error) {
 			sc := testbed.Scenario{Route: testbedDowntown(), Night: true, Arch: testbed.ArchCellBricks, Seed: *seed, Duration: *dur}
 			res, err := testbed.RunBilledDrive(sc, 30*time.Second)
 			if err != nil {
-				return err
+				return "", nil, err
 			}
-			fmt.Printf("sessions=%d cycles=%d mismatches=%d\nUE-attested %d bytes, bTelco-claimed %d (gap %.3f%%)\nsettled %.6f units across %d bTelcos\n",
+			out := fmt.Sprintf("sessions=%d cycles=%d mismatches=%d\nUE-attested %d bytes, bTelco-claimed %d (gap %.3f%%)\nsettled %.6f units across %d bTelcos\n",
 				res.Sessions, res.Cycles, res.Mismatches,
 				res.UEBytes, res.TelcoBytes,
 				100*(float64(res.TelcoBytes)-float64(res.UEBytes))/float64(res.UEBytes),
 				res.TotalOwed, len(res.Settlements))
-			return nil
+			m := map[string]float64{
+				"sessions":   float64(res.Sessions),
+				"mismatches": float64(res.Mismatches),
+				"total_owed": res.TotalOwed,
+			}
+			return out, m, nil
 		})
 	}
 	if want("scale") {
-		run("Ablation: shared-cell scaling (50 Mbps cell)", func() error {
-			var results []testbed.ScaleResult
-			for _, nUE := range []int{1, 4, 16, 64} {
-				results = append(results, testbed.RunScale(*seed, nUE, 50e6, 60*time.Second))
+		run("scale", "Ablation: shared-cell scaling (50 Mbps cell)", func() (string, map[string]float64, error) {
+			counts := []int{1, 4, 16, 64}
+			results := testbed.RunScaleSweep(*seed, counts, 50e6, 60*time.Second, runner)
+			m := make(map[string]float64)
+			for _, r := range results {
+				m[fmt.Sprintf("fairness_%due", r.N)] = r.Fairness
 			}
-			fmt.Print(testbed.RenderScale(results))
-			return nil
+			return testbed.RenderScale(results), m, nil
 		})
 	}
 	if want("fig10") {
-		run("Fig. 10 (Appendix A): day vs night rate limiting (downtown)", func() error {
-			fmt.Print(testbed.RunFig10(*seed, 500*time.Second).Render())
-			return nil
+		run("fig10", "Fig. 10 (Appendix A): day vs night rate limiting (downtown)", func() (string, map[string]float64, error) {
+			res := testbed.RunFig10(*seed, 500*time.Second)
+			dm, _, _ := testbed.Stats(res.DaySeries)
+			nm, _, _ := testbed.Stats(res.NightSeries)
+			m := map[string]float64{"night_day_ratio": nm / dm}
+			return res.Render(), m, nil
 		})
+	}
+
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q: want fig7|table1|fig8|fig9|fig10|transports|scale|billing|all\n", *exp)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		path := *jsonPath
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
+		}
+		if err := appendBenchRun(path, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "bench file: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("appended run (%d experiments) to %s\n", len(rec.Experiments), path)
 	}
 }

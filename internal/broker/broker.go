@@ -171,22 +171,23 @@ func (b *Brokerd) HandleReport(env *billing.SealedReport) (*billing.Mismatch, er
 	if err != nil {
 		return nil, err
 	}
+	// One lock acquisition resolves the session and the expected signer;
+	// the Ed25519 verification itself runs outside the lock so concurrent
+	// report streams don't serialize on the crypto.
 	b.mu.Lock()
 	rec := b.grants[r.SessionRef]
+	var signer pki.PublicIdentity
+	if rec != nil {
+		switch r.Reporter {
+		case billing.ReporterUE:
+			signer = b.users[rec.IDU]
+		case billing.ReporterTelco:
+			signer = b.telcoKeys[rec.IDT]
+		}
+	}
 	b.mu.Unlock()
 	if rec == nil {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, r.SessionRef)
-	}
-	var signer pki.PublicIdentity
-	switch r.Reporter {
-	case billing.ReporterUE:
-		b.mu.Lock()
-		signer = b.users[rec.IDU]
-		b.mu.Unlock()
-	case billing.ReporterTelco:
-		b.mu.Lock()
-		signer = b.telcoKeys[rec.IDT]
-		b.mu.Unlock()
 	}
 	if err := signer.Verify(env.Sealed, env.Sig); err != nil {
 		return nil, ErrBadReporterKey

@@ -44,34 +44,47 @@ type Bearer struct {
 	dlState policerState
 }
 
-// policerState is a token bucket for AMBR enforcement.
+// policerState is a token bucket for AMBR enforcement. The rate terms are
+// precomputed once at bearer creation — Process sits on the per-packet
+// user-plane path, so it must not redo the bits-to-bytes and burst-cap
+// arithmetic for every packet.
 type policerState struct {
-	started bool
-	tokens  float64
-	last    time.Duration
+	bytesPerSec float64 // policed rate in bytes/s; 0 = unlimited
+	maxTokens   float64 // burst allowance in bytes
+	started     bool
+	tokens      float64
+	last        time.Duration
 }
 
 // burstSeconds is the policer burst allowance, expressed in seconds at the
 // configured rate.
 const burstSeconds = 0.2
 
-// police runs the token bucket at rateBps; returns false to drop.
-func (p *policerState) police(now time.Duration, size int, rateBps float64) bool {
+// newPolicer precomputes the token-bucket terms for rateBps.
+func newPolicer(rateBps float64) policerState {
 	if rateBps <= 0 {
+		return policerState{} // unlimited
+	}
+	bps := rateBps / 8
+	return policerState{bytesPerSec: bps, maxTokens: bps * burstSeconds}
+}
+
+// police runs the token bucket; returns false to drop.
+func (p *policerState) police(now time.Duration, size int) bool {
+	if p.bytesPerSec <= 0 {
 		return true // unlimited
 	}
-	bytesPerSec := rateBps / 8
 	if !p.started {
 		// A fresh bearer starts with a full burst allowance.
 		p.started = true
-		p.tokens = bytesPerSec * burstSeconds
+		p.tokens = p.maxTokens
 		p.last = now
 	}
 	if now > p.last {
-		p.tokens += (now - p.last).Seconds() * bytesPerSec
+		p.tokens += (now - p.last).Seconds() * p.bytesPerSec
 		p.last = now
-		if max := bytesPerSec * burstSeconds; p.tokens > max {
-			p.tokens = max
+		if p.tokens > p.maxTokens {
+			p.tokens = p.maxTokens
 		}
 	}
 	if p.tokens >= float64(size) {
@@ -86,25 +99,28 @@ func (p *policerState) police(now time.Duration, size int, rateBps float64) bool
 // start — only differences matter.
 func (b *Bearer) Process(now time.Duration, dir Direction, size int) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch dir {
 	case Uplink:
-		if !b.ulState.police(now, size, float64(b.Params.ULAmbrBps)) {
+		if !b.ulState.police(now, size) {
 			b.usage.ULDropped++
+			b.mu.Unlock()
 			return false
 		}
 		b.usage.ULBytes += uint64(size)
 		b.usage.ULPackets++
 	default:
-		if !b.dlState.police(now, size, float64(b.Params.DLAmbrBps)) {
+		if !b.dlState.police(now, size) {
 			b.usage.DLDropped++
+			b.mu.Unlock()
 			return false
 		}
 		b.usage.DLBytes += uint64(size)
 		b.usage.DLPackets++
 	}
-	if b.Tap != nil {
-		b.Tap(now, dir, size)
+	tap := b.Tap
+	b.mu.Unlock()
+	if tap != nil {
+		tap(now, dir, size)
 	}
 	return true
 }
@@ -140,9 +156,18 @@ func (up *UserPlane) CreateBearer(sessionID uint64, ip string, params qos.Params
 	up.mu.Lock()
 	defer up.mu.Unlock()
 	up.nextBID++
-	b := &Bearer{SessionID: sessionID, BearerID: up.nextBID, IP: ip, Params: params}
+	b := newBearer(sessionID, up.nextBID, ip, params)
 	up.byIP[ip] = &bearerSet{def: b, dedicated: make(map[qos.QCI]*Bearer)}
 	return b
+}
+
+// newBearer builds a bearer with its policers precomputed from params.
+func newBearer(sessionID uint64, bid uint32, ip string, params qos.Params) *Bearer {
+	return &Bearer{
+		SessionID: sessionID, BearerID: bid, IP: ip, Params: params,
+		ulState: newPolicer(float64(params.ULAmbrBps)),
+		dlState: newPolicer(float64(params.DLAmbrBps)),
+	}
 }
 
 // CreateDedicatedBearer provisions an additional bearer for one traffic
@@ -156,7 +181,7 @@ func (up *UserPlane) CreateDedicatedBearer(ip string, params qos.Params) (*Beare
 		return nil, false
 	}
 	up.nextBID++
-	b := &Bearer{SessionID: set.def.SessionID, BearerID: up.nextBID, IP: ip, Params: params}
+	b := newBearer(set.def.SessionID, up.nextBID, ip, params)
 	set.dedicated[params.QCI] = b
 	return b, true
 }

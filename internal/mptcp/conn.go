@@ -1,6 +1,7 @@
 package mptcp
 
 import (
+	"sync/atomic"
 	"time"
 
 	"cellbricks/internal/netem"
@@ -96,17 +97,19 @@ type Conn struct {
 	dropOld      string // old address to release after a soft migration
 }
 
-var nextConnID uint64
+// nextConnID is atomic because independent sims construct connections
+// concurrently (testbed.Runner). The value only demultiplexes segments
+// within one sim, so the allocation order across sims is irrelevant.
+var nextConnID atomic.Uint64
 
 // NewConn establishes a connection between serverIP and clientIP (a link
 // between them must already exist in the simulator). The connection starts
 // established — handshake cost for the *initial* connection is not part of
 // any experiment window.
 func NewConn(sim *netem.Sim, serverIP, clientIP string, cfg Config) *Conn {
-	nextConnID++
 	c := &Conn{
 		sim:      sim,
-		id:       nextConnID,
+		id:       nextConnID.Add(1),
 		cfg:      cfg,
 		serverIP: serverIP,
 		clientIP: clientIP,

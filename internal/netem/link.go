@@ -148,32 +148,60 @@ func (l *Link) Stats() LinkStats { return l.stats }
 
 // Register installs the receive handler for an endpoint identifier.
 // Re-registering replaces the previous handler (used when a UE's address
-// changes).
+// changes). The binding box persists so delivery events captured before a
+// later Register/Unregister still observe the endpoint's current state.
 func (s *Sim) Register(ip string, fn func(*Packet)) {
 	if fn == nil {
-		delete(s.handlers, ip)
+		if ref, ok := s.handlers[ip]; ok {
+			ref.fn = nil
+		}
 		return
 	}
-	s.handlers[ip] = fn
+	s.handlerFor(ip).fn = fn
 }
 
 // Unregister removes an endpoint. In-flight packets to it are dropped on
 // arrival, modelling an invalidated address.
-func (s *Sim) Unregister(ip string) { delete(s.handlers, ip) }
+func (s *Sim) Unregister(ip string) {
+	if ref, ok := s.handlers[ip]; ok {
+		ref.fn = nil
+	}
+}
+
+// handlerFor returns the (possibly empty) handler binding for ip,
+// creating it on first use.
+func (s *Sim) handlerFor(ip string) *handlerRef {
+	if ref, ok := s.handlers[ip]; ok {
+		return ref
+	}
+	ref := &handlerRef{}
+	s.handlers[ip] = ref
+	return ref
+}
 
 // Connect installs a link between two endpoints (order-insensitive).
 func (s *Sim) Connect(a, b string, l *Link) {
 	s.paths[orderedKey(a, b)] = l
+	s.lastLink = nil
 }
 
 // Disconnect removes the link between two endpoints.
 func (s *Sim) Disconnect(a, b string) {
 	delete(s.paths, orderedKey(a, b))
+	s.lastLink = nil
 }
 
 // LinkBetween returns the installed link, or nil.
 func (s *Sim) LinkBetween(a, b string) *Link {
-	return s.paths[orderedKey(a, b)]
+	k := orderedKey(a, b)
+	if s.lastLink != nil && k == s.lastKey {
+		return s.lastLink
+	}
+	if l := s.paths[k]; l != nil {
+		s.lastKey, s.lastLink = k, l
+		return l
+	}
+	return nil
 }
 
 // Send transmits a packet from pkt.Src to pkt.Dst across the installed
@@ -264,14 +292,6 @@ func (s *Sim) Send(pkt *Packet) bool {
 	if s.OnSend != nil {
 		s.OnSend(pkt, arrival)
 	}
-	dst := pkt.Dst
-	s.At(arrival, func() {
-		if h, ok := s.handlers[dst]; ok {
-			if s.OnDeliver != nil {
-				s.OnDeliver(pkt, s.now)
-			}
-			h(pkt)
-		}
-	})
+	s.scheduleDelivery(arrival, pkt, s.handlerFor(pkt.Dst))
 	return true
 }

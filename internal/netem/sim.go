@@ -9,6 +9,10 @@
 // All time in the simulator is virtual: experiments that span hundreds of
 // emulated seconds complete in milliseconds of wall time and are fully
 // deterministic for a given seed.
+//
+// A Sim is single-goroutine by design; scale-out runs many independent
+// Sims concurrently (see testbed.Runner), which is safe because a Sim
+// shares no mutable state with any other.
 package netem
 
 import (
@@ -20,9 +24,15 @@ import (
 
 // Event is a scheduled callback. It can be cancelled before it fires.
 type Event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
+	at  time.Duration
+	seq uint64
+	fn  func()
+	// Delivery fast path: when dst is non-nil the event hands pkt to the
+	// destination's current handler instead of calling fn. Such events
+	// are created only inside Send, never escape to callers, and are
+	// recycled through the sim's free list once popped.
+	pkt       *Packet
+	dst       *handlerRef
 	cancelled bool
 	index     int // heap index, -1 once popped
 }
@@ -37,6 +47,14 @@ func (e *Event) Cancel() {
 
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// handlerRef is the mutable binding from an endpoint identifier to its
+// receive handler. Delivery events capture the ref at send time, so the
+// per-packet map lookup happens once on Send instead of once more on
+// delivery; Register/Unregister swap fn in place.
+type handlerRef struct {
+	fn func(*Packet)
+}
 
 type eventHeap []*Event
 
@@ -75,8 +93,19 @@ type Sim struct {
 	seq    uint64
 	rng    *rand.Rand
 
-	handlers map[string]func(*Packet) // IP -> receive handler
+	handlers map[string]*handlerRef // IP -> receive handler binding
 	paths    map[pathKey]*Link
+
+	// Single-entry path cache: bulk transfers hammer one (src, dst) pair,
+	// so most Sends skip the map lookup entirely. Invalidated on any
+	// Connect/Disconnect.
+	lastKey  pathKey
+	lastLink *Link
+
+	// free recycles the internal delivery events, the dominant allocation
+	// of a packet-heavy run. Caller-visible events (from At/After) are
+	// never pooled: callers may hold them for Cancel long after firing.
+	free []*Event
 
 	// OnSend, when set, observes every admitted packet with its scheduled
 	// arrival time (a pcap-style tap for debugging and tests).
@@ -100,7 +129,7 @@ func orderedKey(a, b string) pathKey {
 func NewSim(seed int64) *Sim {
 	return &Sim{
 		rng:      rand.New(rand.NewSource(seed)),
-		handlers: make(map[string]func(*Packet)),
+		handlers: make(map[string]*handlerRef),
 		paths:    make(map[pathKey]*Link),
 	}
 }
@@ -131,16 +160,53 @@ func (s *Sim) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
+// scheduleDelivery enqueues the internal per-packet delivery event, drawn
+// from the free list.
+func (s *Sim) scheduleDelivery(t time.Duration, pkt *Packet, dst *handlerRef) {
+	s.seq++
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.at, e.seq, e.pkt, e.dst = t, s.seq, pkt, dst
+	heap.Push(&s.events, e)
+}
+
+// release returns a popped delivery event to the free list. Events that
+// were handed to a caller (fn-based) are left for the GC instead.
+func (s *Sim) release(e *Event) {
+	if e.dst == nil {
+		return
+	}
+	*e = Event{index: -1}
+	s.free = append(s.free, e)
+}
+
 // Step fires the next pending event. It reports false when the queue is
 // empty.
 func (s *Sim) Step() bool {
 	for s.events.Len() > 0 {
 		e := heap.Pop(&s.events).(*Event)
 		if e.cancelled {
+			s.release(e)
 			continue
 		}
 		s.now = e.at
-		e.fn()
+		if e.dst != nil {
+			pkt, ref := e.pkt, e.dst
+			s.release(e) // recycle before the handler runs: pkt/ref are copied out
+			if ref.fn != nil {
+				if s.OnDeliver != nil {
+					s.OnDeliver(pkt, s.now)
+				}
+				ref.fn(pkt)
+			}
+		} else {
+			e.fn()
+		}
 		return true
 	}
 	return false
@@ -155,9 +221,9 @@ func (s *Sim) Run() {
 // RunUntil processes events with timestamps <= t and then advances the
 // clock to exactly t.
 func (s *Sim) RunUntil(t time.Duration) {
-	for s.events.Len() > 0 {
+	for {
 		next := s.peek()
-		if next.at > t {
+		if next == nil || next.at > t {
 			break
 		}
 		s.Step()
@@ -167,17 +233,19 @@ func (s *Sim) RunUntil(t time.Duration) {
 	}
 }
 
+// peek returns the next live event without firing it, or nil when the
+// queue is drained, discarding cancelled events at the top so RunUntil's
+// bound check sees a live one.
 func (s *Sim) peek() *Event {
-	// Skip over cancelled events at the top so RunUntil's bound check sees
-	// a live event.
 	for s.events.Len() > 0 {
 		e := s.events[0]
 		if !e.cancelled {
 			return e
 		}
 		heap.Pop(&s.events)
+		s.release(e)
 	}
-	return &Event{at: 1<<62 - 1}
+	return nil
 }
 
 // Pending reports the number of scheduled (possibly cancelled) events.

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -317,6 +318,74 @@ func VerifyCert(anchor PublicIdentity, c *Certificate, now time.Time) error {
 	if now.Before(c.NotBefore) || now.After(c.NotAfter) {
 		return ErrExpired
 	}
+	return nil
+}
+
+// CertVerifier memoizes VerifyCert for a fixed trust anchor: the broker
+// sees the same bTelco certificate on every attachment it grants through
+// that bTelco, so after the first verification the Ed25519 operation
+// (tens of microseconds, the single most expensive step of SAP request
+// handling) can be skipped. Entries are keyed by a digest of the full
+// certificate contents *and* signature, so any tampering misses the
+// cache, and the validity window is still checked against `now` on every
+// call — a cached certificate that has since expired is rejected.
+//
+// The cache is bounded; when full, an arbitrary entry is evicted (the
+// working set is "the bTelcos currently near this broker's users", far
+// below any sensible bound). Safe for concurrent use.
+type CertVerifier struct {
+	anchor PublicIdentity
+	max    int
+
+	mu   sync.Mutex
+	seen map[[32]byte]certWindow
+}
+
+type certWindow struct{ notBefore, notAfter time.Time }
+
+// NewCertVerifier builds a verifier for one trust anchor. max bounds the
+// cache entry count; <= 0 selects a default of 256.
+func NewCertVerifier(anchor PublicIdentity, max int) *CertVerifier {
+	if max <= 0 {
+		max = 256
+	}
+	return &CertVerifier{anchor: anchor, max: max, seen: make(map[[32]byte]certWindow)}
+}
+
+// Verify is VerifyCert with memoized signature checks.
+func (v *CertVerifier) Verify(c *Certificate, now time.Time) error {
+	if c == nil {
+		return ErrBadCertificate
+	}
+	h := sha256.New()
+	h.Write(c.signedBytes())
+	h.Write(c.Signature)
+	var key [32]byte
+	h.Sum(key[:0])
+
+	v.mu.Lock()
+	w, hit := v.seen[key]
+	v.mu.Unlock()
+	if hit {
+		if now.Before(w.notBefore) || now.After(w.notAfter) {
+			return ErrExpired
+		}
+		return nil
+	}
+	if err := VerifyCert(v.anchor, c, now); err != nil {
+		// Failures are never cached: ErrExpired depends on `now`, and a
+		// bad signature costs the attacker the full verification anyway.
+		return err
+	}
+	v.mu.Lock()
+	if len(v.seen) >= v.max {
+		for k := range v.seen {
+			delete(v.seen, k)
+			break
+		}
+	}
+	v.seen[key] = certWindow{notBefore: c.NotBefore, notAfter: c.NotAfter}
+	v.mu.Unlock()
 	return nil
 }
 

@@ -2,6 +2,7 @@ package pki
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
@@ -216,5 +217,57 @@ func TestPropertySignTamper(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCertVerifierMemoization pins the cache's safety properties: hits
+// agree with VerifyCert, the validity window is re-checked on every call
+// (a cached cert still expires), tampering misses the cache, and the
+// entry count stays bounded.
+func TestCertVerifierMemoization(t *testing.T) {
+	ca, err := NewCAFromSeed("root", bytes.Repeat([]byte{42}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	telco := mustPair(t, 12)
+	now := time.Unix(1_700_000_000, 0)
+	cert := ca.Issue("btelco-1.example", "btelco", telco.Public(), now.Add(-time.Hour), now.Add(time.Hour))
+
+	v := NewCertVerifier(ca.Public(), 4)
+	for i := 0; i < 3; i++ { // first call populates, later ones hit
+		if err := v.Verify(cert, now); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	// Cached entry must still honour the validity window.
+	if err := v.Verify(cert, now.Add(2*time.Hour)); err != ErrExpired {
+		t.Fatalf("cached expired cert: err=%v, want ErrExpired", err)
+	}
+	if err := v.Verify(cert, now.Add(-2*time.Hour)); err != ErrExpired {
+		t.Fatalf("cached premature cert: err=%v, want ErrExpired", err)
+	}
+	// Tampering changes the digest key, so the forgery cannot ride the
+	// cached verdict.
+	bad := *cert
+	bad.Subject = "evil"
+	if err := v.Verify(&bad, now); err != ErrBadCertificate {
+		t.Fatalf("tampered cert: err=%v, want ErrBadCertificate", err)
+	}
+	if err := v.Verify(nil, now); err != ErrBadCertificate {
+		t.Fatalf("nil cert: err=%v", err)
+	}
+	// Bounded: issuing more certs than the cap must not grow the map.
+	for i := 0; i < 10; i++ {
+		k := mustPair(t, byte(100+i))
+		c := ca.Issue(fmt.Sprintf("t%d", i), "btelco", k.Public(), now.Add(-time.Hour), now.Add(time.Hour))
+		if err := v.Verify(c, now); err != nil {
+			t.Fatalf("cert %d: %v", i, err)
+		}
+	}
+	v.mu.Lock()
+	n := len(v.seen)
+	v.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("cache grew to %d entries, cap 4", n)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"cellbricks/internal/nas"
@@ -165,16 +166,20 @@ func AcceptAll() Authorizer {
 
 // BrokerState is the broker side of SAP: its key pair, the CA trust
 // anchor for bTelco certificates, the registry of user keys it issued,
-// a replay cache, and the authorization policy.
+// a replay cache, and the authorization policy. Safe for concurrent
+// request handling (the wire server serves each connection on its own
+// goroutine).
 type BrokerState struct {
 	IDB    string
 	Key    *pki.KeyPair
 	Anchor pki.PublicIdentity
 	Policy Authorizer
 
+	mu      sync.Mutex
 	users   map[string]pki.PublicIdentity // idU -> key the broker issued
 	revoked map[string]bool
 	nonces  *nonceCache
+	certs   *pki.CertVerifier // memoized bTelco certificate checks
 	now     func() time.Time
 }
 
@@ -195,6 +200,7 @@ func NewBrokerState(idB string, key *pki.KeyPair, anchor pki.PublicIdentity, pol
 		users:   make(map[string]pki.PublicIdentity),
 		revoked: make(map[string]bool),
 		nonces:  newNonceCache(1 << 16),
+		certs:   pki.NewCertVerifier(anchor, 256),
 		now:     now,
 	}
 }
@@ -203,13 +209,19 @@ func NewBrokerState(idB string, key *pki.KeyPair, anchor pki.PublicIdentity, pol
 // UE should embed in authVec (the key digest).
 func (b *BrokerState) RegisterUser(pub pki.PublicIdentity) string {
 	id := pub.Digest()
+	b.mu.Lock()
 	b.users[id] = pub
+	b.mu.Unlock()
 	return id
 }
 
 // RevokeUser invalidates a user key: "B can revoke U's public key by
 // simply invalidating the key in its database."
-func (b *BrokerState) RevokeUser(idU string) { b.revoked[idU] = true }
+func (b *BrokerState) RevokeUser(idU string) {
+	b.mu.Lock()
+	b.revoked[idU] = true
+	b.mu.Unlock()
+}
 
 // GrantRecord is the broker's bookkeeping for an approved attachment,
 // used later to align billing reports.
@@ -237,8 +249,11 @@ func (b *BrokerState) HandleRequest(req *AuthReqT) (*AuthResp, *GrantRecord, err
 
 	// 1. Authenticate the bTelco: certificate chains to the anchor, the
 	// certificate's subject matches the claimed idT, and the signature
-	// over the augmented request verifies under the certified key.
-	if err := pki.VerifyCert(b.Anchor, req.Cert, b.now()); err != nil {
+	// over the augmented request verifies under the certified key. The
+	// certificate check is memoized: every attach through the same bTelco
+	// carries the same certificate, so only the first pays the Ed25519
+	// verification (expiry is still enforced per call).
+	if err := b.certs.Verify(req.Cert, b.now()); err != nil {
 		return deny("bTelco certificate invalid")
 	}
 	if req.Cert.Role != "btelco" || req.Cert.Subject != req.IDT {
@@ -263,11 +278,14 @@ func (b *BrokerState) HandleRequest(req *AuthReqT) (*AuthResp, *GrantRecord, err
 	if vec.IDB != b.IDB {
 		return deny("authVec names a different broker")
 	}
+	b.mu.Lock()
 	pubU, ok := b.users[vec.IDU]
+	revoked := b.revoked[vec.IDU]
+	b.mu.Unlock()
 	if !ok {
 		return deny("unknown user")
 	}
-	if b.revoked[vec.IDU] {
+	if revoked {
 		return deny("user key revoked")
 	}
 	if err := pubU.Verify(req.ReqU.SealedVec, req.ReqU.Sig); err != nil {
@@ -279,7 +297,10 @@ func (b *BrokerState) HandleRequest(req *AuthReqT) (*AuthResp, *GrantRecord, err
 	if vec.IDT != req.IDT {
 		return deny("bTelco identity mismatch")
 	}
-	if !b.nonces.add(vec.Nonce) {
+	b.mu.Lock()
+	fresh := b.nonces.add(vec.Nonce)
+	b.mu.Unlock()
+	if !fresh {
 		return deny("replayed nonce")
 	}
 

@@ -212,9 +212,16 @@ func (w *attachWorld) transport(ranID string) ue.NASTransport {
 	}
 }
 
-// RunAttach measures one attachment, returning the sample.
+// RunAttach measures one attachment. The returned sample's Spans hold the
+// per-module time charged by *this attach only*: the clock's cumulative
+// spans are snapshotted before and after, and the sample carries the
+// difference. That keeps any charges predating the attach — or, for a
+// shared world, charges from earlier attaches — out of the sample, so a
+// bench loop can sum samples directly instead of differencing cumulative
+// snapshots (where the first iteration silently absorbed setup charges).
 func (w *attachWorld) RunAttach(arch Arch, iteration int) (AttachSample, error) {
 	start := w.clock.Now()
+	before := w.clock.Spans()
 	// Per-attach static costs for the modules whose work is dominated by
 	// standardized processing rather than our Go code.
 	w.clock.Charge(SpanUE, costUE)
@@ -225,28 +232,32 @@ func (w *attachWorld) RunAttach(arch Arch, iteration int) (AttachSample, error) 
 		w.clock.Charge(SpanAGW, costAGWSAP)
 		ranID := fmt.Sprintf("bench-ue-%d", iteration)
 		dev := ue.NewDevice(ranID, nil, w.dev.CB)
-		t0 := time.Now()
+		t0 := benchNow()
 		_, err := dev.AttachSAP(w.transport(ranID), "btelco-bench")
 		if err != nil {
 			return AttachSample{}, err
 		}
 		// UE-side crypto wall time (seal, verify, open) charged to UE.
-		w.clock.Charge(SpanUE, time.Since(t0)/2)
+		w.clock.Charge(SpanUE, benchNow().Sub(t0)/2)
 	case ArchBaseline:
 		w.clock.Charge(SpanAGW, costAGWBase)
 		ranID := fmt.Sprintf("bench-legacy-%d", iteration)
 		dev := ue.NewDevice(ranID, &aka.SIM{K: w.legacy.Legacy.K, IMSI: w.legacy.Legacy.IMSI, SQN: w.legacy.Legacy.SQN}, nil)
-		t0 := time.Now()
+		t0 := benchNow()
 		_, err := dev.AttachLegacy(w.transport(ranID))
 		if err != nil {
 			return AttachSample{}, err
 		}
 		w.legacy.Legacy.SQN = dev.Legacy.SQN
-		w.clock.Charge(SpanUE, time.Since(t0)/2)
+		w.clock.Charge(SpanUE, benchNow().Sub(t0)/2)
 	default:
 		return AttachSample{}, fmt.Errorf("testbed: unknown arch %q", arch)
 	}
-	return AttachSample{Total: w.clock.Now() - start, Spans: w.clock.Spans()}, nil
+	spans := w.clock.Spans()
+	for k, v := range before {
+		spans[k] -= v
+	}
+	return AttachSample{Total: w.clock.Now() - start, Spans: spans}, nil
 }
 
 // RunAttachBench measures n attachments for one Fig. 7 cell.
@@ -257,7 +268,6 @@ func RunAttachBench(arch Arch, place Placement, n int) (AttachBenchResult, error
 	}
 	var total time.Duration
 	sums := make(map[string]time.Duration)
-	prev := make(map[string]time.Duration)
 	for i := 0; i < n; i++ {
 		s, err := w.RunAttach(arch, i)
 		if err != nil {
@@ -265,9 +275,8 @@ func RunAttachBench(arch Arch, place Placement, n int) (AttachBenchResult, error
 		}
 		total += s.Total
 		for k, v := range s.Spans {
-			sums[k] += v - prev[k]
+			sums[k] += v
 		}
-		prev = s.Spans
 	}
 	res := AttachBenchResult{Arch: arch, Placement: place, N: n, Mean: total / time.Duration(n)}
 	res.Breakdown = make(map[string]time.Duration, len(sums))
@@ -275,4 +284,17 @@ func RunAttachBench(arch Arch, place Placement, n int) (AttachBenchResult, error
 		res.Breakdown[k] = v / time.Duration(n)
 	}
 	return res, nil
+}
+
+// RunFig7 measures every Fig. 7 cell — three placements × two
+// architectures, n attachments each. Each cell owns a private attachWorld
+// (its own broker, SubscriberDB, and virtual clock), so the six cells fan
+// out across the runner and reassemble in the canonical order: placements
+// outermost, baseline before CellBricks within each.
+func RunFig7(n int, r Runner) ([]AttachBenchResult, error) {
+	places := Placements()
+	archs := []Arch{ArchBaseline, ArchCellBricks}
+	return runUnitsErr(r, len(places)*len(archs), func(u int) (AttachBenchResult, error) {
+		return RunAttachBench(archs[u%len(archs)], places[u/len(archs)], n)
+	})
 }

@@ -25,6 +25,12 @@ func NewVirtualClock() *VirtualClock {
 	return &VirtualClock{spans: make(map[string]time.Duration)}
 }
 
+// benchNow is the wall-clock source behind the measured-crypto charges.
+// The golden determinism tests replace it with a frozen clock so that the
+// only nondeterministic input to the Fig. 7 numbers disappears and a
+// parallel run can be compared byte-for-byte against a sequential one.
+var benchNow = time.Now
+
 // Now returns accumulated virtual time.
 func (c *VirtualClock) Now() time.Duration {
 	c.mu.Lock()
@@ -43,9 +49,9 @@ func (c *VirtualClock) Charge(module string, d time.Duration) {
 // Exec runs f, charging its real wall-clock duration plus a static cost to
 // the module.
 func (c *VirtualClock) Exec(module string, static time.Duration, f func() error) error {
-	t0 := time.Now()
+	t0 := benchNow()
 	err := f()
-	c.Charge(module, static+time.Since(t0))
+	c.Charge(module, static+benchNow().Sub(t0))
 	return err
 }
 

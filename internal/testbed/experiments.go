@@ -33,6 +33,56 @@ type Table1Cell struct {
 type Table1Config struct {
 	Duration time.Duration // per-cell emulated time (paper: hours of driving)
 	Seed     int64
+	// Runner schedules the independent cell measurements; the zero value
+	// fans out across GOMAXPROCS workers. Results are identical either
+	// way — every measurement is its own seed-deterministic simulation.
+	Runner Runner
+}
+
+// table1Jobs is the number of independent measurements per cell: the
+// MTTHO world plus MNO/CB runs of ping, iperf, VoIP, video, and web.
+const table1Jobs = 11
+
+// runTable1Job regenerates measurement j of one cell, writing only the
+// field(s) that job owns. Each job builds its own simulation from the
+// scenario seed, so jobs can run in any order or concurrently.
+func runTable1Job(j int, route trace.Route, night bool, cfg Table1Config, cell *Table1Cell) {
+	mk := func(arch Arch) Scenario {
+		return Scenario{
+			Route: route, Night: night, Arch: arch,
+			Seed: cfg.Seed, Duration: cfg.Duration,
+		}
+	}
+	switch j {
+	case 0:
+		// MTTHO observed from the handover schedule of the CB run.
+		w := NewWorld(mk(ArchCellBricks))
+		if n := len(w.Handovers); n > 1 {
+			cell.MTTHO = (w.Handovers[n-1] - w.Handovers[0]) / time.Duration(n-1)
+		} else {
+			cell.MTTHO = route.MTTHO(night)
+		}
+	case 1:
+		cell.MNOPingP50, _ = RunPing(mk(ArchBaseline))
+	case 2:
+		cell.CBPingP50, _ = RunPing(mk(ArchCellBricks))
+	case 3:
+		cell.MNOIperf = RunIperf(mk(ArchBaseline)).AvgBps
+	case 4:
+		cell.CBIperf = RunIperf(mk(ArchCellBricks)).AvgBps
+	case 5:
+		cell.MNOMOS = RunVoIP(mk(ArchBaseline)).MOS
+	case 6:
+		cell.CBMOS = RunVoIP(mk(ArchCellBricks)).MOS
+	case 7:
+		cell.MNOVideo = RunVideo(mk(ArchBaseline)).AvgLevel
+	case 8:
+		cell.CBVideo = RunVideo(mk(ArchCellBricks)).AvgLevel
+	case 9:
+		cell.MNOWeb = RunWeb(mk(ArchBaseline)).AvgLoad
+	case 10:
+		cell.CBWeb = RunWeb(mk(ArchCellBricks)).AvgLoad
+	}
 }
 
 // RunTable1Cell runs all four applications under both architectures for
@@ -41,32 +91,10 @@ func RunTable1Cell(route trace.Route, night bool, cfg Table1Config) Table1Cell {
 	if cfg.Duration == 0 {
 		cfg.Duration = 10 * time.Minute
 	}
-	mk := func(arch Arch) Scenario {
-		return Scenario{
-			Route: route, Night: night, Arch: arch,
-			Seed: cfg.Seed, Duration: cfg.Duration,
-		}
-	}
 	cell := Table1Cell{Route: route.Name, Night: night}
-
-	// MTTHO observed from the handover schedule of the CB run.
-	w := NewWorld(mk(ArchCellBricks))
-	if n := len(w.Handovers); n > 1 {
-		cell.MTTHO = (w.Handovers[n-1] - w.Handovers[0]) / time.Duration(n-1)
-	} else {
-		cell.MTTHO = route.MTTHO(night)
-	}
-
-	cell.MNOPingP50, _ = RunPing(mk(ArchBaseline))
-	cell.CBPingP50, _ = RunPing(mk(ArchCellBricks))
-	cell.MNOIperf = RunIperf(mk(ArchBaseline)).AvgBps
-	cell.CBIperf = RunIperf(mk(ArchCellBricks)).AvgBps
-	cell.MNOMOS = RunVoIP(mk(ArchBaseline)).MOS
-	cell.CBMOS = RunVoIP(mk(ArchCellBricks)).MOS
-	cell.MNOVideo = RunVideo(mk(ArchBaseline)).AvgLevel
-	cell.CBVideo = RunVideo(mk(ArchCellBricks)).AvgLevel
-	cell.MNOWeb = RunWeb(mk(ArchBaseline)).AvgLoad
-	cell.CBWeb = RunWeb(mk(ArchCellBricks)).AvgLoad
+	cfg.Runner.ForEach(table1Jobs, func(j int) {
+		runTable1Job(j, route, night, cfg, &cell)
+	})
 	return cell
 }
 
@@ -75,15 +103,33 @@ type Table1Result struct {
 	Cells []Table1Cell
 }
 
-// RunTable1 reproduces Table 1: three routes x day/night.
+// RunTable1 reproduces Table 1: three routes x day/night. The full
+// cells × measurements grid (6 × 11 independent simulations) is
+// flattened into one unit list so the worker pool stays saturated even
+// when one cell's iperf run is much slower than another's ping run.
 func RunTable1(cfg Table1Config) Table1Result {
-	var res Table1Result
+	if cfg.Duration == 0 {
+		cfg.Duration = 10 * time.Minute
+	}
+	type cellKey struct {
+		route trace.Route
+		night bool
+	}
+	var keys []cellKey
 	for _, route := range trace.Routes() {
 		for _, night := range []bool{false, true} {
-			res.Cells = append(res.Cells, RunTable1Cell(route, night, cfg))
+			keys = append(keys, cellKey{route, night})
 		}
 	}
-	return res
+	cells := make([]Table1Cell, len(keys))
+	for i, k := range keys {
+		cells[i] = Table1Cell{Route: k.route.Name, Night: k.night}
+	}
+	cfg.Runner.ForEach(len(keys)*table1Jobs, func(u int) {
+		ci, j := u/table1Jobs, u%table1Jobs
+		runTable1Job(j, keys[ci].route, keys[ci].night, cfg, &cells[ci])
+	})
+	return Table1Result{Cells: cells}
 }
 
 // Slowdown aggregates the "Overall Perf. Slowdown" row: mean relative
@@ -211,7 +257,22 @@ type Fig9Result struct{ Curves []Fig9Curve }
 // handover (n = 1..9), normalized to the TCP baseline over the same
 // windows, for modified MPTCP (wait removed) at d = 32, 64, 128 ms plus
 // unmodified (500 ms wait) MPTCP. Night policy, as in the paper.
-func RunFig9(seed int64, trials int) Fig9Result {
+func RunFig9(seed int64, trials int, r Runner) Fig9Result {
+	return runFig9(seed, trials, 8*time.Minute, r)
+}
+
+// fig9MaxWin is the longest post-handover window (seconds) Fig. 9 plots.
+const fig9MaxWin = 9
+
+// fig9Unit is the per-(config, trial) result: for every window length n,
+// the CB/TCP throughput ratios in handover order. Keeping the individual
+// ratios (rather than a partial sum) lets the reassembly below replay the
+// float additions in the exact order the sequential code used.
+type fig9Unit struct {
+	ratios [fig9MaxWin + 1][]float64
+}
+
+func runFig9(seed int64, trials int, dur time.Duration, r Runner) Fig9Result {
 	if trials <= 0 {
 		trials = 3
 	}
@@ -226,53 +287,68 @@ func RunFig9(seed int64, trials int) Fig9Result {
 		{"mod. 128ms", 128 * time.Millisecond, time.Nanosecond},
 		{"unmod. (500ms)", 31680 * time.Microsecond, 500 * time.Millisecond},
 	}
-	const maxWin = 9
-	dur := 8 * time.Minute
 	bin := 100 * time.Millisecond
 
-	var res Fig9Result
-	for _, c := range cfgs {
-		sums := make([]float64, maxWin+1)
-		counts := make([]int, maxWin+1)
-		for trial := 0; trial < trials; trial++ {
-			s := seed + int64(trial)*101
-			base := Scenario{Route: trace.Downtown, Night: true, Seed: s, Duration: dur}
-			cb := base
-			cb.Arch = ArchCellBricks
-			cb.AttachLatency = c.d
-			cb.MPTCPWait = c.wait
-			cbWorld := NewWorld(cb)
-			cbSeries := apps.NewIperf(cbWorld.Sim, cbWorld.Conn, bin).Run(dur).Series
+	// Each (config, trial) pair is an independent pair of simulations —
+	// fan them all out, then reduce per window in canonical
+	// (config, trial, handover) order so the sums are bit-identical to a
+	// sequential run.
+	units := runUnits(r, len(cfgs)*trials, func(u int) fig9Unit {
+		c := cfgs[u/trials]
+		trial := u % trials
+		s := seed + int64(trial)*101
+		base := Scenario{Route: trace.Downtown, Night: true, Seed: s, Duration: dur}
+		cb := base
+		cb.Arch = ArchCellBricks
+		cb.AttachLatency = c.d
+		cb.MPTCPWait = c.wait
+		cbWorld := NewWorld(cb)
+		cbSeries := apps.NewIperf(cbWorld.Sim, cbWorld.Conn, bin).Run(dur).Series
 
-			mno := base
-			mno.Arch = ArchBaseline
-			mnoWorld := NewWorld(mno)
-			mnoSeries := apps.NewIperf(mnoWorld.Sim, mnoWorld.Conn, bin).Run(dur).Series
+		mno := base
+		mno.Arch = ArchBaseline
+		mnoWorld := NewWorld(mno)
+		mnoSeries := apps.NewIperf(mnoWorld.Sim, mnoWorld.Conn, bin).Run(dur).Series
 
-			hos := cbWorld.Handovers
-			for i, at := range hos {
-				// Skip windows that contain the next handover.
-				next := dur
-				if i+1 < len(hos) {
-					next = hos[i+1]
+		var out fig9Unit
+		hos := cbWorld.Handovers
+		for i, at := range hos {
+			// Skip windows that contain the next handover.
+			next := dur
+			if i+1 < len(hos) {
+				next = hos[i+1]
+			}
+			for n := 1; n <= fig9MaxWin; n++ {
+				end := at + time.Duration(n)*time.Second
+				if end > next || end > dur {
+					break
 				}
-				for n := 1; n <= maxWin; n++ {
-					end := at + time.Duration(n)*time.Second
-					if end > next || end > dur {
-						break
-					}
-					cbAvg := seriesAvg(cbSeries, at, end, bin)
-					mnoAvg := seriesAvg(mnoSeries, at, end, bin)
-					if mnoAvg <= 0 {
-						continue
-					}
-					sums[n] += cbAvg / mnoAvg
+				cbAvg := seriesAvg(cbSeries, at, end, bin)
+				mnoAvg := seriesAvg(mnoSeries, at, end, bin)
+				if mnoAvg <= 0 {
+					continue
+				}
+				out.ratios[n] = append(out.ratios[n], cbAvg/mnoAvg)
+			}
+		}
+		return out
+	})
+
+	var res Fig9Result
+	for ci, c := range cfgs {
+		sums := make([]float64, fig9MaxWin+1)
+		counts := make([]int, fig9MaxWin+1)
+		for trial := 0; trial < trials; trial++ {
+			u := units[ci*trials+trial]
+			for n := 1; n <= fig9MaxWin; n++ {
+				for _, ratio := range u.ratios[n] {
+					sums[n] += ratio
 					counts[n]++
 				}
 			}
 		}
 		curve := Fig9Curve{Label: c.label}
-		for n := 1; n <= maxWin; n++ {
+		for n := 1; n <= fig9MaxWin; n++ {
 			if counts[n] == 0 {
 				continue
 			}

@@ -192,29 +192,31 @@ type TransportComparison struct {
 }
 
 // RunTransportComparisonAll runs the web workload under each transport.
-func RunTransportComparisonAll(seed int64, dur time.Duration) []TransportComparison {
+// The four arms share nothing but the scenario seed, so they fan out
+// across the runner; the result order is fixed regardless of scheduling.
+func RunTransportComparisonAll(seed int64, dur time.Duration, r Runner) []TransportComparison {
 	if dur == 0 {
 		dur = 8 * time.Minute
 	}
 	base := Scenario{Route: trace.Downtown, Night: true, Arch: ArchCellBricks, Seed: seed, Duration: dur}
 
-	var out []TransportComparison
-	run := func(label string, res apps.WebResult) {
-		out = append(out, TransportComparison{Label: label, WebLoad: res.AvgLoad, Pages: res.Pages})
+	type arm struct {
+		label string
+		run   func() apps.WebResult
 	}
-
-	mptcpDeployed := base
-	run("MPTCP (500ms wait)", RunWeb(mptcpDeployed))
-
 	mptcpMod := base
 	mptcpMod.MPTCPWait = time.Nanosecond
-	run("MPTCP (wait removed)", RunWeb(mptcpMod))
-
 	quic := base
 	quic.Protocol = mptcp.ProtoQUIC
 	quic.MPTCPWait = time.Nanosecond
-	run("QUIC migration", RunWeb(quic))
-
-	run("TCP + L7 restart", RunWebFallback(base))
-	return out
+	arms := []arm{
+		{"MPTCP (500ms wait)", func() apps.WebResult { return RunWeb(base) }},
+		{"MPTCP (wait removed)", func() apps.WebResult { return RunWeb(mptcpMod) }},
+		{"QUIC migration", func() apps.WebResult { return RunWeb(quic) }},
+		{"TCP + L7 restart", func() apps.WebResult { return RunWebFallback(base) }},
+	}
+	return runUnits(r, len(arms), func(i int) TransportComparison {
+		res := arms[i].run()
+		return TransportComparison{Label: arms[i].label, WebLoad: res.AvgLoad, Pages: res.Pages}
+	})
 }

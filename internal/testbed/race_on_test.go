@@ -1,0 +1,9 @@
+//go:build race
+
+package testbed
+
+// raceEnabled gates tests that calibrate measured wall-clock crypto time
+// against the paper's absolute numbers: the race detector slows the real
+// crypto by an order of magnitude, which inflates the measured charges
+// without indicating any defect.
+const raceEnabled = true

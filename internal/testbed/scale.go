@@ -87,6 +87,16 @@ func RunScale(seed int64, n int, cellBps float64, dur time.Duration) ScaleResult
 	return res
 }
 
+// RunScaleSweep runs RunScale for each UE count in counts. Every point is
+// a fully independent simulation (its own Sim, shapers, and connections),
+// so the sweep fans out across the runner; results come back in the order
+// of counts.
+func RunScaleSweep(seed int64, counts []int, cellBps float64, dur time.Duration, r Runner) []ScaleResult {
+	return runUnits(r, len(counts), func(i int) ScaleResult {
+		return RunScale(seed, counts[i], cellBps, dur)
+	})
+}
+
 // RenderScale prints a sweep of UE counts.
 func RenderScale(results []ScaleResult) string {
 	out := fmt.Sprintf("%5s %12s %12s %10s\n", "UEs", "cell (Mbps)", "total (Mbps)", "fairness")

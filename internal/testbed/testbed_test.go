@@ -13,6 +13,9 @@ import (
 )
 
 func TestFig7ShapeMatchesPaper(t *testing.T) {
+	if raceEnabled {
+		t.Skip("Fig. 7 charges measured crypto wall time; the race detector inflates it ~10x")
+	}
 	run := func(arch Arch, p Placement) AttachBenchResult {
 		t.Helper()
 		r, err := RunAttachBench(arch, p, 30)
@@ -162,7 +165,7 @@ func TestFig10Bimodal(t *testing.T) {
 }
 
 func TestFig9UnmodifiedWorstEarly(t *testing.T) {
-	r := RunFig9(3, 3)
+	r := RunFig9(3, 3, Runner{})
 	if len(r.Curves) != 4 {
 		t.Fatalf("%d curves", len(r.Curves))
 	}
@@ -318,7 +321,7 @@ func TestRealDeploymentManyUEs(t *testing.T) {
 }
 
 func TestTransportComparison(t *testing.T) {
-	res := RunTransportComparisonAll(5, 6*time.Minute)
+	res := RunTransportComparisonAll(5, 6*time.Minute, Runner{})
 	if len(res) != 4 {
 		t.Fatalf("%d transports", len(res))
 	}
