@@ -6,6 +6,7 @@
 //	cbbench -exp fig8            # iperf timeline around a handover
 //	cbbench -exp fig9            # attach-latency factor analysis
 //	cbbench -exp fig10           # day vs night rate limiting
+//	cbbench -exp failover        # fault injection: outage-to-recovery + goodput dip
 //	cbbench -exp all
 //
 // Flags tune the emulated duration, trials and seed; results print the
@@ -26,6 +27,7 @@ import (
 	"runtime"
 	"time"
 
+	"cellbricks/internal/chaos"
 	"cellbricks/internal/testbed"
 	"cellbricks/internal/trace"
 )
@@ -78,13 +80,15 @@ func appendBenchRun(path string, run benchRun) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7|table1|fig8|fig9|fig10|transports|scale|billing|all")
+	exp := flag.String("exp", "all", "experiment: fig7|table1|fig8|fig9|fig10|transports|scale|billing|failover|all")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	n := flag.Int("n", 100, "fig7: attach repetitions per cell")
 	dur := flag.Duration("dur", 5*time.Minute, "table1: emulated drive time per cell")
 	trials := flag.Int("trials", 3, "fig9: trials per configuration")
 	workers := flag.Int("workers", 0, "worker goroutines for independent simulations (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run every simulation sequentially (same output, no parallelism)")
+	faults := flag.String("faults", "flap=2x3s,pause=1x800ms,broker=1x10s,crash=1x6s,corrupt=1x5s@0.05",
+		"failover: fault spec, class=COUNTxDUR[@RATE] comma-separated (classes: flap pause broker crash corrupt trunc)")
 	jsonOut := flag.Bool("json", false, "append wall time/allocs/metrics to the bench-trajectory file")
 	jsonPath := flag.String("json-file", "", "bench-trajectory file (default BENCH_<date>.json)")
 	label := flag.String("label", "", "label for this run in the bench-trajectory file")
@@ -226,6 +230,47 @@ func main() {
 			return testbed.RenderScale(results), m, nil
 		})
 	}
+	if want("failover") {
+		run("failover", "Failover: seeded fault injection, outage-to-recovery and goodput dip", func() (string, map[string]float64, error) {
+			spec, err := chaos.ParseSpec(*faults)
+			if err != nil {
+				return "", nil, err
+			}
+			res, err := testbed.RunFailover(testbed.FailoverConfig{
+				Seed: *seed, Duration: *dur, Spec: spec,
+			})
+			if err != nil {
+				return "", nil, err
+			}
+			m := map[string]float64{
+				"baseline_mbps":   res.BaselineBps / 1e6,
+				"faulted_mbps":    res.FaultedBps / 1e6,
+				"attach_retries":  float64(res.AttachRetries),
+				"fallbacks":       float64(res.Fallbacks),
+				"broker_restores": float64(res.BrokerRestores),
+				"unrecovered":     float64(res.Unrecovered),
+			}
+			// Per-kind worst case: the number the availability story is
+			// judged on.
+			for _, o := range res.Outcomes {
+				if !o.Recovered {
+					continue
+				}
+				key := fmt.Sprintf("recovery_ms_%s", o.Kind)
+				if ms := o.Recovery.Seconds() * 1000; ms > m[key] {
+					m[key] = ms
+				}
+				key = fmt.Sprintf("dip_pct_%s", o.Kind)
+				if o.DipPct > m[key] {
+					m[key] = o.DipPct
+				}
+			}
+			if res.Unrecovered > 0 {
+				return res.Render(), m, fmt.Errorf("failover: %d fault(s) did not recover", res.Unrecovered)
+			}
+			return res.Render(), m, nil
+		})
+	}
 	if want("fig10") {
 		run("fig10", "Fig. 10 (Appendix A): day vs night rate limiting (downtown)", func() (string, map[string]float64, error) {
 			res := testbed.RunFig10(*seed, 500*time.Second)
@@ -237,7 +282,7 @@ func main() {
 	}
 
 	if !matched {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q: want fig7|table1|fig8|fig9|fig10|transports|scale|billing|all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q: want fig7|table1|fig8|fig9|fig10|transports|scale|billing|failover|all\n", *exp)
 		os.Exit(2)
 	}
 

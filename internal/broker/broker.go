@@ -20,6 +20,7 @@ import (
 	"cellbricks/internal/pki"
 	"cellbricks/internal/qos"
 	"cellbricks/internal/sap"
+	"cellbricks/internal/wire"
 )
 
 // Config configures a brokerd instance.
@@ -68,6 +69,8 @@ type Brokerd struct {
 	reports       map[string]map[billing.Reporter][]*billing.Report
 	qosViolations map[string]int // idT -> QoS incident count
 	policy        sap.Authorizer // optional rule chain (see policy.go)
+	shedHint      time.Duration  // non-zero = degraded: shed attach load
+	shedCount     uint64         // auth requests shed while degraded
 }
 
 // New creates a brokerd.
@@ -133,10 +136,53 @@ func (b *Brokerd) authorize(idU, idT string, terms sap.ServiceTerms) (qos.Params
 	return base.Clamp(terms.Cap), nil
 }
 
+// ShedLoad puts the broker in degraded mode: attach authorizations are
+// refused with a typed *wire.RetryAfterError carrying retryAfter as the
+// backoff hint, instead of queueing work a recovering instance cannot
+// serve. Report ingestion keeps running — reports are cheap, idempotent
+// per (session, seq), and losing them would open a billing gap.
+func (b *Brokerd) ShedLoad(retryAfter time.Duration) {
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.shedHint = retryAfter
+}
+
+// Resume leaves degraded mode.
+func (b *Brokerd) Resume() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.shedHint = 0
+}
+
+// Degraded reports whether the broker is shedding attach load.
+func (b *Brokerd) Degraded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shedHint > 0
+}
+
+// ShedCount reports how many auth requests were refused while degraded.
+func (b *Brokerd) ShedCount() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shedCount
+}
+
 // HandleAuthRequest processes one SAP request from a bTelco. On grant it
 // binds the session for billing alignment and remembers the bTelco's
-// certified key for report verification.
+// certified key for report verification. A degraded broker sheds the
+// request with a typed retry-after error before any crypto runs.
 func (b *Brokerd) HandleAuthRequest(req *sap.AuthReqT) (*sap.AuthResp, error) {
+	b.mu.Lock()
+	if hint := b.shedHint; hint > 0 {
+		b.shedCount++
+		b.mu.Unlock()
+		return nil, &wire.RetryAfterError{After: hint}
+	}
+	b.mu.Unlock()
 	resp, rec, err := b.sap.HandleRequest(req)
 	if err != nil {
 		return nil, err

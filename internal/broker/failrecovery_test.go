@@ -1,0 +1,155 @@
+package broker
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"cellbricks/internal/pki"
+	"cellbricks/internal/qos"
+	"cellbricks/internal/sap"
+	"cellbricks/internal/wire"
+)
+
+// authReq builds a fresh bTelco-forwarded SAP request for the harness UE.
+func authReq(t *testing.T, h *harness) *sap.AuthReqT {
+	t.Helper()
+	reqU, _, err := h.ue.NewAttachRequest(h.telco.IDT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqT, err := h.telco.ForwardRequest(reqU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqT
+}
+
+func TestShedLoadTypedRetryAfterOverWire(t *testing.T) {
+	h := newHarness(t)
+	srv, err := Serve(h.brk, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	h.brk.ShedLoad(300 * time.Millisecond)
+	if !h.brk.Degraded() {
+		t.Fatal("ShedLoad did not mark the broker degraded")
+	}
+	_, err = client.Authenticate(authReq(t, h))
+	var ra *wire.RetryAfterError
+	if !errors.As(err, &ra) {
+		t.Fatalf("degraded auth err = %v, want *wire.RetryAfterError", err)
+	}
+	if ra.After != 300*time.Millisecond {
+		t.Fatalf("retry-after hint = %v, want 300ms (survived the wire round trip)", ra.After)
+	}
+	if h.brk.ShedCount() != 1 {
+		t.Fatalf("ShedCount = %d, want 1", h.brk.ShedCount())
+	}
+
+	// Reports must keep flowing while attaches shed: ingestion is cheap
+	// and losing it would open a billing gap. (The session predates the
+	// degradation.)
+	h.brk.Resume()
+	if h.brk.Degraded() {
+		t.Fatal("Resume did not clear degraded state")
+	}
+	resp, err := client.Authenticate(authReq(t, h))
+	if err != nil {
+		t.Fatalf("auth after Resume: %v", err)
+	}
+	if !resp.Granted {
+		t.Fatalf("denied after Resume: %s", resp.Cause)
+	}
+}
+
+func TestRestartRestoresSnapshotOverWire(t *testing.T) {
+	// Build the world by hand (not newHarness) so the broker Config is
+	// available for the crash-restart constructor.
+	now := time.Unix(1_760_000_000, 0)
+	ca, err := pki.NewCAFromSeed("r-ca", bytes.Repeat([]byte{95}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, _ := pki.KeyPairFromSeed(bytes.Repeat([]byte{96}, 32))
+	cfg := DefaultConfig("broker.restart", bk, ca.Public())
+	cfg.Now = func() time.Time { return now }
+	brk := New(cfg)
+
+	uk, _ := pki.KeyPairFromSeed(bytes.Repeat([]byte{97}, 32))
+	idU := brk.RegisterUser(uk.Public())
+	tk, _ := pki.KeyPairFromSeed(bytes.Repeat([]byte{98}, 32))
+	cert := ca.Issue("r-telco", "btelco", tk.Public(), now.Add(-time.Hour), now.Add(time.Hour))
+	telco := &sap.TelcoState{
+		IDT: "r-telco", Key: tk, Cert: cert,
+		Terms: sap.ServiceTerms{Cap: qos.DefaultCapability(), PricePerGB: 1.0},
+	}
+	ue := &sap.UEState{IDU: idU, IDB: "broker.restart", Key: uk, BrokerPub: bk.Public()}
+	h := &harness{brk: brk, ca: ca, ue: ue, ueKey: uk, telco: telco, now: now}
+
+	// A grant lands, then the broker "crashes" — the last snapshot is all
+	// that survives.
+	_, ref := h.attach(t)
+	snap := brk.Snapshot()
+
+	nb, err := Restart(cfg, snap, 500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if !nb.Degraded() {
+		t.Fatal("restarted broker should start in the shed window")
+	}
+	if nb.Grant(ref) == nil {
+		t.Fatal("grant did not survive the snapshot round trip")
+	}
+
+	srv, err := Serve(nb, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// During the shed window the restored broker refuses with the typed
+	// hint...
+	_, err = client.Authenticate(authReq(t, h))
+	var ra *wire.RetryAfterError
+	if !errors.As(err, &ra) {
+		t.Fatalf("degraded auth err = %v, want *wire.RetryAfterError", err)
+	}
+	// ...and afterwards the restored user registration serves a fresh
+	// attach: recovery is complete without re-provisioning anything.
+	nb.Resume()
+	h.brk = nb
+	_, ref2 := h.attach(t)
+	if ref2 == ref {
+		t.Fatal("fresh attach reused the old session ref")
+	}
+}
+
+func TestRestartNilSnapshot(t *testing.T) {
+	bk, _ := pki.KeyPairFromSeed(bytes.Repeat([]byte{99}, 32))
+	ca, err := pki.NewCAFromSeed("n-ca", bytes.Repeat([]byte{100}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := Restart(DefaultConfig("broker.amnesia", bk, ca.Public()), nil, 0)
+	if err != nil {
+		t.Fatalf("Restart with nil snapshot: %v", err)
+	}
+	if nb.Degraded() {
+		t.Fatal("shedFor=0 must not start degraded")
+	}
+}

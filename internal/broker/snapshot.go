@@ -2,6 +2,7 @@ package broker
 
 import (
 	"fmt"
+	"time"
 
 	"cellbricks/internal/codec"
 	"cellbricks/internal/pki"
@@ -126,4 +127,23 @@ func (b *Brokerd) Restore(snap []byte) error {
 		b.verifier.RestoreSuspect(r.String())
 	}
 	return r.Done()
+}
+
+// Restart is the crash-recovery constructor: it builds a fresh broker from
+// cfg, loads the last snapshot, and — if shedFor > 0 — starts in degraded
+// mode so attach load is refused with a retry-after hint while the operator
+// warms the instance (call Resume, or schedule it, to end the window).
+// A nil snapshot restarts with empty durable state, which is still a valid
+// (if amnesiac) recovery.
+func Restart(cfg Config, snap []byte, shedFor time.Duration) (*Brokerd, error) {
+	b := New(cfg)
+	if len(snap) > 0 {
+		if err := b.Restore(snap); err != nil {
+			return nil, fmt.Errorf("broker: restart restore: %w", err)
+		}
+	}
+	if shedFor > 0 {
+		b.ShedLoad(shedFor)
+	}
+	return b, nil
 }

@@ -1,0 +1,238 @@
+// Package chaos is a deterministic fault-injection harness for the
+// CellBricks availability story. The paper's resilience argument — the
+// broker sits off the data path after attach, a UE re-attaches through any
+// bTelco, and MPTCP masks the disruption — only holds if the system
+// actually recovers from the faults it claims to tolerate. This package
+// turns a compact textual spec ("flap=2x3s,broker=1x20s") plus a seed into
+// a fixed, sorted schedule of faults that replays identically in the
+// discrete-event simulator (internal/netem) and against real TCP servers,
+// so recovery times are reproducible numbers rather than anecdotes.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the fault classes the harness can inject.
+type Kind uint8
+
+const (
+	// KindFlap takes a link hard down for the fault duration
+	// (netem Link.Down): every in-flight and new packet is dropped.
+	KindFlap Kind = iota
+	// KindPause freezes a link (netem Link.PausedUntil): packets are
+	// held, not dropped — the blackout a handover gap produces.
+	KindPause
+	// KindBroker takes the broker process down for the duration; on
+	// restart it restores from its last snapshot and sheds attach load
+	// briefly. Attaches in the window see refused/timed-out SAP calls.
+	KindBroker
+	// KindCrash kills and later restarts the serving bTelco, forcing the
+	// UE through its fallback attach path.
+	KindCrash
+	// KindCorrupt flips bytes in transit frames at Rate for the duration.
+	KindCorrupt
+	// KindTrunc truncates transit frames at Rate for the duration.
+	KindTrunc
+
+	numKinds = iota
+)
+
+var kindNames = [numKinds]string{"flap", "pause", "broker", "crash", "corrupt", "trunc"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindFromString parses a fault class name.
+func KindFromString(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown fault class %q", s)
+}
+
+// Fault is one scheduled fault: at virtual (or relative wall) time At,
+// inject Kind for Dur. Rate is the per-frame probability for the
+// corrupt/trunc classes and ignored otherwise.
+type Fault struct {
+	Kind Kind
+	At   time.Duration
+	Dur  time.Duration
+	Rate float64
+}
+
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s@%v+%v", f.Kind, f.At, f.Dur)
+	if f.Rate > 0 {
+		s += fmt.Sprintf("(p=%.3f)", f.Rate)
+	}
+	return s
+}
+
+// ClassSpec is the per-class part of a Spec: inject Count faults of
+// duration Dur each; Rate applies to corrupt/trunc.
+type ClassSpec struct {
+	Count int
+	Dur   time.Duration
+	Rate  float64
+}
+
+// Spec is a parsed fault specification: how many faults of each class to
+// inject and how long each lasts. Where in the run they land is decided by
+// Compile with a seed, so the same spec produces different-but-reproducible
+// schedules across seeds.
+type Spec struct {
+	Classes [numKinds]ClassSpec
+}
+
+// ParseSpec parses the comma-separated grammar
+//
+//	class=COUNTxDUR[@RATE]
+//
+// e.g. "flap=2x3s,pause=1x800ms,broker=1x20s,corrupt=1x10s@0.05".
+// Classes: flap, pause, broker, crash, corrupt, trunc. RATE (0..1] is only
+// meaningful for corrupt/trunc and defaults to 0.05 there. An empty string
+// is a valid empty spec (the baseline run).
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return spec, fmt.Errorf("chaos: %q: want class=COUNTxDUR[@RATE]", part)
+		}
+		kind, err := KindFromString(strings.TrimSpace(name))
+		if err != nil {
+			return spec, err
+		}
+		rate := 0.0
+		if body, r, hasRate := strings.Cut(val, "@"); hasRate {
+			val = body
+			rate, err = strconv.ParseFloat(strings.TrimSpace(r), 64)
+			if err != nil || rate <= 0 || rate > 1 {
+				return spec, fmt.Errorf("chaos: %q: rate must be in (0,1]", part)
+			}
+		}
+		cntStr, durStr, ok := strings.Cut(val, "x")
+		if !ok {
+			return spec, fmt.Errorf("chaos: %q: want COUNTxDUR", part)
+		}
+		count, err := strconv.Atoi(strings.TrimSpace(cntStr))
+		if err != nil || count < 1 {
+			return spec, fmt.Errorf("chaos: %q: count must be a positive integer", part)
+		}
+		dur, err := time.ParseDuration(strings.TrimSpace(durStr))
+		if err != nil || dur <= 0 {
+			return spec, fmt.Errorf("chaos: %q: bad duration", part)
+		}
+		if rate == 0 && (kind == KindCorrupt || kind == KindTrunc) {
+			rate = 0.05
+		}
+		c := &spec.Classes[kind]
+		c.Count += count
+		c.Dur = dur
+		if rate > 0 {
+			c.Rate = rate
+		}
+	}
+	return spec, nil
+}
+
+// String renders the spec back into the grammar (canonical class order).
+func (s Spec) String() string {
+	var parts []string
+	for k, c := range s.Classes {
+		if c.Count == 0 {
+			continue
+		}
+		p := fmt.Sprintf("%s=%dx%v", Kind(k), c.Count, c.Dur)
+		if c.Rate > 0 {
+			p += fmt.Sprintf("@%g", c.Rate)
+		}
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Empty reports whether the spec schedules no faults.
+func (s Spec) Empty() bool {
+	for _, c := range s.Classes {
+		if c.Count > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Schedule is a compiled, time-sorted fault list.
+type Schedule struct {
+	Seed    int64
+	Horizon time.Duration
+	Faults  []Fault
+}
+
+// Compile places the spec's faults inside [0.1*horizon, 0.7*horizon] using
+// a seeded rng, so every fault window — including its recovery tail — fits
+// before the run ends. Same (spec, seed, horizon) → identical schedule;
+// the draw order is fixed (class-major, count-minor), so adding a class to
+// the spec does not reshuffle the others' times for a given seed.
+func (s Spec) Compile(seed int64, horizon time.Duration) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	sched := Schedule{Seed: seed, Horizon: horizon}
+	lo := horizon / 10
+	window := horizon*7/10 - lo
+	if window <= 0 {
+		window = 1
+	}
+	for k := 0; k < numKinds; k++ {
+		c := s.Classes[k]
+		for i := 0; i < c.Count; i++ {
+			at := lo + time.Duration(rng.Int63n(int64(window)))
+			dur := c.Dur
+			if at+dur > horizon {
+				dur = horizon - at
+			}
+			sched.Faults = append(sched.Faults, Fault{
+				Kind: Kind(k), At: at, Dur: dur, Rate: c.Rate,
+			})
+		}
+	}
+	sort.Slice(sched.Faults, func(i, j int) bool {
+		a, b := sched.Faults[i], sched.Faults[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Kind < b.Kind
+	})
+	return sched
+}
+
+// String renders the schedule one fault per line — this is what the
+// failover experiment embeds in its summary, so two runs with the same
+// seed and spec are trivially diffable.
+func (sc Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule seed=%d horizon=%v faults=%d\n", sc.Seed, sc.Horizon, len(sc.Faults))
+	for _, f := range sc.Faults {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}

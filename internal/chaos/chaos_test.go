@@ -1,0 +1,140 @@
+package chaos
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	in := "flap=2x3s,pause=1x800ms,broker=1x20s,crash=1x10s,corrupt=1x10s@0.05,trunc=1x5s@0.1"
+	spec, err := ParseSpec(in)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Classes[KindFlap].Count != 2 || spec.Classes[KindFlap].Dur != 3*time.Second {
+		t.Fatalf("flap parsed wrong: %+v", spec.Classes[KindFlap])
+	}
+	if spec.Classes[KindCorrupt].Rate != 0.05 {
+		t.Fatalf("corrupt rate = %v, want 0.05", spec.Classes[KindCorrupt].Rate)
+	}
+	out := spec.String()
+	spec2, err := ParseSpec(out)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", out, err)
+	}
+	if spec2 != spec {
+		t.Fatalf("round trip mismatch: %q -> %+v vs %+v", out, spec2, spec)
+	}
+}
+
+func TestParseSpecDefaultsCorruptRate(t *testing.T) {
+	spec, err := ParseSpec("corrupt=1x10s")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Classes[KindCorrupt].Rate != 0.05 {
+		t.Fatalf("default corrupt rate = %v, want 0.05", spec.Classes[KindCorrupt].Rate)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"bogus=1x3s",        // unknown class
+		"flap=0x3s",         // zero count
+		"flap=1x-3s",        // negative duration
+		"flap=1",            // missing duration
+		"flap",              // missing '='
+		"corrupt=1x3s@1.5",  // rate out of range
+		"corrupt=1x3s@-0.1", // rate out of range
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", bad)
+		}
+	}
+	if spec, err := ParseSpec(""); err != nil || !spec.Empty() {
+		t.Errorf("empty spec should parse as empty schedule, got %+v, %v", spec, err)
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	spec, err := ParseSpec("flap=3x2s,broker=1x10s,corrupt=2x4s@0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 2 * time.Minute
+	a := spec.Compile(42, horizon)
+	b := spec.Compile(42, horizon)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different schedules:\n%s\nvs\n%s", a, b)
+	}
+	c := spec.Compile(43, horizon)
+	if a.String() == c.String() {
+		t.Fatalf("different seeds produced identical schedules:\n%s", a)
+	}
+}
+
+func TestCompileBoundsAndOrder(t *testing.T) {
+	spec, _ := ParseSpec("flap=5x3s,pause=5x1s,broker=2x15s")
+	horizon := 90 * time.Second
+	sched := spec.Compile(7, horizon)
+	if len(sched.Faults) != 12 {
+		t.Fatalf("got %d faults, want 12", len(sched.Faults))
+	}
+	var prev time.Duration = -1
+	for _, f := range sched.Faults {
+		if f.At < prev {
+			t.Fatalf("schedule not sorted: %v after %v", f.At, prev)
+		}
+		prev = f.At
+		if f.At < horizon/10 {
+			t.Errorf("fault %s before warmup window", f)
+		}
+		if f.At+f.Dur > horizon {
+			t.Errorf("fault %s extends past horizon %v", f, horizon)
+		}
+	}
+}
+
+func TestFaultyConnDeterministic(t *testing.T) {
+	run := func(seed int64) (corrupted, truncated int, payload []byte) {
+		client, server := net.Pipe()
+		defer server.Close()
+		fc := NewFaultyConn(client, seed, 0.3, 0.2)
+		done := make(chan []byte, 1)
+		go func() {
+			buf := make([]byte, 4096)
+			total := 0
+			for {
+				n, err := server.Read(buf[total:])
+				total += n
+				if err != nil {
+					break
+				}
+			}
+			done <- buf[:total]
+		}()
+		for i := 0; i < 20; i++ {
+			msg := make([]byte, 16)
+			for j := range msg {
+				msg[j] = byte(i)
+			}
+			if _, err := fc.Write(msg); err != nil {
+				break
+			}
+		}
+		fc.Close()
+		payload = <-done
+		corrupted, truncated = fc.Faults()
+		return
+	}
+	c1, t1, p1 := run(99)
+	c2, t2, p2 := run(99)
+	if c1 != c2 || t1 != t2 || string(p1) != string(p2) {
+		t.Fatalf("same seed diverged: (%d,%d,%d bytes) vs (%d,%d,%d bytes)",
+			c1, t1, len(p1), c2, t2, len(p2))
+	}
+	if c1 == 0 && t1 == 0 {
+		t.Fatalf("expected some faults at 30%%/20%% over 20 writes")
+	}
+}

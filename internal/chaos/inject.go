@@ -1,0 +1,81 @@
+package chaos
+
+import (
+	"time"
+
+	"cellbricks/internal/netem"
+)
+
+// Hooks binds abstract fault classes to a concrete world. Every hook is
+// optional: a nil hook means the world has no such component and faults of
+// that class are skipped (counted in Replay's return). Hooks run inside
+// simulator events, so they must not block.
+type Hooks struct {
+	// LinkFlap takes the data-path link hard down (true) or back up.
+	LinkFlap func(down bool)
+	// LinkPause freezes the data-path link for d (held, not dropped).
+	LinkPause func(d time.Duration)
+	// BrokerCrash kills the broker process; BrokerRestart brings it back
+	// (snapshot restore + shed window are the world's business).
+	BrokerCrash   func()
+	BrokerRestart func()
+	// TelcoCrash kills the serving bTelco; TelcoRestart revives it.
+	TelcoCrash   func()
+	TelcoRestart func()
+	// FrameFault sets the transit corruption/truncation probabilities;
+	// called with the fault's rates at onset and zeros at the end.
+	FrameFault func(corruptRate, truncRate float64)
+}
+
+// Replay schedules every fault in the schedule onto the simulator: the
+// onset hook fires at f.At and the clearing hook at f.At+f.Dur. Call it
+// before sim.Run, while the virtual clock is still at zero (Sim.At panics
+// on past times). It returns how many faults were actually armed — faults
+// whose hook is nil are skipped.
+func (sc Schedule) Replay(sim *netem.Sim, h Hooks) int {
+	armed := 0
+	for _, f := range sc.Faults {
+		f := f
+		switch f.Kind {
+		case KindFlap:
+			if h.LinkFlap == nil {
+				continue
+			}
+			sim.At(f.At, func() { h.LinkFlap(true) })
+			sim.At(f.At+f.Dur, func() { h.LinkFlap(false) })
+		case KindPause:
+			if h.LinkPause == nil {
+				continue
+			}
+			sim.At(f.At, func() { h.LinkPause(f.Dur) })
+		case KindBroker:
+			if h.BrokerCrash == nil || h.BrokerRestart == nil {
+				continue
+			}
+			sim.At(f.At, h.BrokerCrash)
+			sim.At(f.At+f.Dur, h.BrokerRestart)
+		case KindCrash:
+			if h.TelcoCrash == nil || h.TelcoRestart == nil {
+				continue
+			}
+			sim.At(f.At, h.TelcoCrash)
+			sim.At(f.At+f.Dur, h.TelcoRestart)
+		case KindCorrupt:
+			if h.FrameFault == nil {
+				continue
+			}
+			sim.At(f.At, func() { h.FrameFault(f.Rate, 0) })
+			sim.At(f.At+f.Dur, func() { h.FrameFault(0, 0) })
+		case KindTrunc:
+			if h.FrameFault == nil {
+				continue
+			}
+			sim.At(f.At, func() { h.FrameFault(0, f.Rate) })
+			sim.At(f.At+f.Dur, func() { h.FrameFault(0, 0) })
+		default:
+			continue
+		}
+		armed++
+	}
+	return armed
+}

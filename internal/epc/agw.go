@@ -13,6 +13,7 @@ import (
 	"cellbricks/internal/pki"
 	"cellbricks/internal/qos"
 	"cellbricks/internal/sap"
+	"cellbricks/internal/wire"
 )
 
 // SubscriberClient is the AGW's legacy northbound: the two S6A-style round
@@ -265,6 +266,24 @@ func (g *AGW) reject(cause string) []byte {
 	return plain(&nas.AttachReject{Cause: cause})
 }
 
+// rejectErr builds the reject for a northbound failure, preserving a
+// degraded broker's typed retry-after hint so the UE's attach state
+// machine can honour it instead of hammering a recovering broker.
+func (g *AGW) rejectErr(err error) []byte {
+	var ra *wire.RetryAfterError
+	if errors.As(err, &ra) {
+		g.mu.Lock()
+		g.attachFailures++
+		g.mu.Unlock()
+		ms := ra.After.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		return plain(&nas.AttachReject{Cause: err.Error(), RetryAfterMS: uint32(ms)})
+	}
+	return g.reject(err.Error())
+}
+
 func (g *AGW) protectedReply(s *Session, m nas.Message) []byte {
 	return append([]byte{1}, s.Ctx.Protect(nas.Downlink, nas.Encode(m))...)
 }
@@ -379,7 +398,7 @@ func (g *AGW) handleSAPAttach(ranID string, m *nas.AttachRequestSAP) ([]byte, er
 		resp, e = client.Authenticate(reqT)
 		return e
 	}); err != nil {
-		return g.reject(err.Error()), nil
+		return g.rejectErr(err), nil
 	}
 	var grant *sap.Grant
 	var respU *sap.AuthRespU

@@ -329,18 +329,26 @@ func (m *AttachAccept) unmarshalBody(b []byte) error {
 	return r.done()
 }
 
-// AttachReject reports a failed attach with a cause string.
-type AttachReject struct{ Cause string }
+// AttachReject reports a failed attach with a cause string. RetryAfterMS,
+// when non-zero, carries a degraded broker's load-shedding hint through
+// the NAS layer: the UE should back off at least that long before
+// retrying (the attach path's typed retry-after signal).
+type AttachReject struct {
+	Cause        string
+	RetryAfterMS uint32
+}
 
 func (*AttachReject) Type() byte { return MsgAttachReject }
 func (m *AttachReject) marshalBody() []byte {
 	var w writer
 	w.str(m.Cause)
+	w.u32(m.RetryAfterMS)
 	return w.b
 }
 func (m *AttachReject) unmarshalBody(b []byte) error {
 	r := reader{b: b}
 	m.Cause = r.str()
+	m.RetryAfterMS = r.u32()
 	return r.done()
 }
 

@@ -1,0 +1,118 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+// Drop accounting is what the chaos harness and the failover experiment
+// read to attribute outages, so each counter must tick for exactly its own
+// drop cause.
+
+func TestStatsDroppedLoss(t *testing.T) {
+	s := NewSim(1)
+	l := &Link{Loss: 1.0}
+	s.Connect("a", "b", l)
+	s.Register("b", func(p *Packet) {})
+	for i := 0; i < 10; i++ {
+		s.Send(&Packet{Src: "a", Dst: "b", Size: 100})
+	}
+	st := l.Stats()
+	if st.DroppedLoss != 10 {
+		t.Fatalf("DroppedLoss = %d, want 10", st.DroppedLoss)
+	}
+	if st.DroppedDown != 0 || st.DroppedQueue != 0 || st.Sent != 0 {
+		t.Fatalf("loss drops leaked into other counters: %+v", st)
+	}
+}
+
+func TestStatsDroppedDown(t *testing.T) {
+	s := NewSim(1)
+	l := &Link{Down: true}
+	s.Connect("a", "b", l)
+	s.Register("b", func(p *Packet) {})
+	for i := 0; i < 7; i++ {
+		if s.Send(&Packet{Src: "a", Dst: "b", Size: 100}) {
+			t.Fatal("down link admitted a packet")
+		}
+	}
+	st := l.Stats()
+	if st.DroppedDown != 7 {
+		t.Fatalf("DroppedDown = %d, want 7", st.DroppedDown)
+	}
+	if st.DroppedLoss != 0 || st.DroppedQueue != 0 {
+		t.Fatalf("down drops leaked into other counters: %+v", st)
+	}
+
+	// Flap the link back up: traffic and the Sent counter resume.
+	l.Down = false
+	if !s.Send(&Packet{Src: "a", Dst: "b", Size: 100}) {
+		t.Fatal("restored link rejected a packet")
+	}
+	if st := l.Stats(); st.Sent != 1 {
+		t.Fatalf("Sent = %d after restore, want 1", st.Sent)
+	}
+}
+
+func TestStatsDroppedQueueBandwidth(t *testing.T) {
+	s := NewSim(1)
+	// 8 kbit/s with a 10 ms queue budget: a 1000-byte packet takes 1 s to
+	// serialize, so the second packet already exceeds the queue bound.
+	l := &Link{BandwidthBps: 8000, MaxQueue: 10 * time.Millisecond}
+	s.Connect("a", "b", l)
+	s.Register("b", func(p *Packet) {})
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		if s.Send(&Packet{Src: "a", Dst: "b", Size: 1000}) {
+			admitted++
+		}
+	}
+	st := l.Stats()
+	if admitted != 1 || st.DroppedQueue != 4 {
+		t.Fatalf("admitted=%d DroppedQueue=%d, want 1 and 4 (stats %+v)", admitted, st.DroppedQueue, st)
+	}
+}
+
+func TestStatsDroppedQueueShaperZeroRate(t *testing.T) {
+	s := NewSim(1)
+	// A shaper whose rate schedule hits zero models a dead policer
+	// interval: every packet is dropped and accounted as a queue drop.
+	l := &Link{ShaperAB: NewShaper(func(time.Duration) float64 { return 0 }, 1024, 1024)}
+	s.Connect("a", "b", l)
+	s.Register("b", func(p *Packet) {})
+	for i := 0; i < 3; i++ {
+		if s.Send(&Packet{Src: "a", Dst: "b", Size: 100}) {
+			t.Fatal("zero-rate shaper admitted a packet")
+		}
+	}
+	if st := l.Stats(); st.DroppedQueue != 3 {
+		t.Fatalf("DroppedQueue = %d, want 3", st.DroppedQueue)
+	}
+}
+
+func TestStatsDroppedQueueShaperOverload(t *testing.T) {
+	s := NewSim(1)
+	// 80 kbit/s, tiny burst and queue: a burst of large packets overruns
+	// the queue-time bound and the tail is dropped.
+	l := &Link{ShaperAB: NewShaper(func(time.Duration) float64 { return 80e3 }, 1024, 4*1024)}
+	s.Connect("a", "b", l)
+	got := 0
+	s.Register("b", func(p *Packet) { got++ })
+	sent := 0
+	for i := 0; i < 50; i++ {
+		if s.Send(&Packet{Src: "a", Dst: "b", Size: 1500}) {
+			sent++
+		}
+	}
+	s.Run()
+	st := l.Stats()
+	if st.DroppedQueue == 0 {
+		t.Fatalf("expected shaper queue drops, stats %+v", st)
+	}
+	if uint64(sent) != st.Sent || got != sent {
+		t.Fatalf("admitted %d, Sent %d, delivered %d — counters disagree (%+v)", sent, st.Sent, got, st)
+	}
+	if st.DroppedQueue+st.Sent != 50 {
+		t.Fatalf("drops (%d) + sent (%d) != offered 50", st.DroppedQueue, st.Sent)
+	}
+}

@@ -1,0 +1,588 @@
+package testbed
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"cellbricks/internal/apps"
+	"cellbricks/internal/broker"
+	"cellbricks/internal/chaos"
+	"cellbricks/internal/epc"
+	"cellbricks/internal/mptcp"
+	"cellbricks/internal/netem"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/qos"
+	"cellbricks/internal/sap"
+	"cellbricks/internal/trace"
+	"cellbricks/internal/ue"
+)
+
+// This file is the failover experiment: a bulk transfer rides the emulated
+// cellular path while a seeded chaos schedule (internal/chaos) kills links,
+// the serving bTelco, and the broker underneath it. The full recovery stack
+// is in the loop — UE attach retry state machine with bTelco fallback
+// (ue.AttachFSM), broker snapshot/restore with a post-restart load-shedding
+// window (broker.Restart), and the typed retry-after hint surviving the
+// broker → AGW → NAS → UE round trip. The output quantifies the paper's
+// §3 availability claim: outage-to-recovery time and goodput dip per fault,
+// reproducible byte-for-byte from (seed, spec).
+
+// FailoverConfig parameterizes one failover run.
+type FailoverConfig struct {
+	Seed     int64
+	Duration time.Duration
+	Route    trace.Route
+	Night    bool
+	// Spec is the fault specification; Compile(Seed, Duration) fixes the
+	// schedule.
+	Spec chaos.Spec
+	// Retry tunes the UE attach state machine. The default raises
+	// MaxAttempts to 12 so the worst-case retry budget exceeds the
+	// default broker outage.
+	Retry ue.RetryPolicy
+	// AttachLatency is the detach-to-new-address gap on a successful
+	// attach (default 31.68 ms, as elsewhere in the testbed).
+	AttachLatency time.Duration
+	// SnapshotEvery is the broker's snapshot cadence (default 15 s); the
+	// last snapshot before a crash is what Restart restores.
+	SnapshotEvery time.Duration
+	// ShedFor is the post-restart degraded window during which the broker
+	// refuses attaches with a retry-after hint (default 2 s).
+	ShedFor time.Duration
+	// Bin is the goodput sampling interval (default 1 s).
+	Bin time.Duration
+}
+
+// Defaults fills zero fields.
+func (c FailoverConfig) Defaults() FailoverConfig {
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Minute
+	}
+	if c.Route.Name == "" {
+		c.Route = trace.Downtown
+	}
+	if c.Retry.MaxAttempts == 0 {
+		c.Retry.MaxAttempts = 12
+	}
+	c.Retry = c.Retry.WithDefaults()
+	if c.AttachLatency == 0 {
+		c.AttachLatency = 31680 * time.Microsecond
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 15 * time.Second
+	}
+	if c.ShedFor == 0 {
+		c.ShedFor = 2 * time.Second
+	}
+	if c.Bin == 0 {
+		c.Bin = time.Second
+	}
+	return c
+}
+
+// FaultOutcome is the measured effect of one injected fault.
+type FaultOutcome struct {
+	Kind chaos.Kind
+	At   time.Duration
+	Dur  time.Duration
+	// Recovery is outage-to-recovery time measured from fault onset:
+	// for data-plane faults (flap/pause/corrupt/trunc), until the first
+	// delivery after the fault clears; for attach-path faults
+	// (broker/crash), until the first successful attach after onset.
+	Recovery  time.Duration
+	Recovered bool
+	// Goodput over [At, At+Dur+2s] in the fault-free baseline run vs this
+	// run, and the relative dip.
+	BaselineBps float64
+	FaultedBps  float64
+	DipPct      float64
+}
+
+// FailoverResult is the outcome of a failover run pair (baseline+faulted).
+type FailoverResult struct {
+	Config   FailoverConfig
+	Schedule chaos.Schedule
+
+	BaselineBps float64
+	FaultedBps  float64
+	Outcomes    []FaultOutcome
+
+	Attaches       int // successful attaches (faulted run)
+	AttachAttempts int
+	AttachRetries  int // failed attempts that were retried
+	Fallbacks      int // attaches that moved off the serving bTelco
+	GiveUps        int // retry budgets exhausted
+	Handovers      int // mobility events (incl. fault-forced)
+
+	Snapshots      int
+	BrokerRestores int
+	Shed           uint64 // attach requests refused while degraded
+
+	Unrecovered int
+}
+
+// recovery watcher: a fault waiting for its recovery signal.
+type foWatcher struct {
+	outcome *FaultOutcome
+	// ready is the earliest instant the signal counts: fault end for
+	// data-plane faults, fault onset for attach-path faults.
+	ready    time.Duration
+	resolved bool
+}
+
+// foWorld is the failover world: emulated data plane + in-process
+// control plane, both driven by one simulator clock.
+type foWorld struct {
+	cfg FailoverConfig
+	sim *netem.Sim
+	op  *trace.Operator
+
+	conn      *mptcp.Conn
+	link      *netem.Link
+	flapped   *netem.Link
+	baseLoss  float64
+	frameLoss float64
+	ueIP      string
+	ueIdx     int
+
+	brkCfg    broker.Config
+	brk       *broker.Brokerd
+	brokerPub pki.PublicIdentity
+	live      bool
+	lastSnap  []byte
+
+	telcos    [2]*sap.TelcoState
+	agws      [2]*epc.AGW
+	telcoDown [2]bool
+	crashed   int
+	serving   int
+	ueCB      *sap.UEState
+
+	attachSeq int
+
+	dataWatch   []*foWatcher
+	attachWatch []*foWatcher
+
+	res    *FailoverResult
+	runErr error
+}
+
+func newFoWorld(cfg FailoverConfig, res *FailoverResult) (*foWorld, error) {
+	w := &foWorld{
+		cfg:  cfg,
+		sim:  netem.NewSim(cfg.Seed),
+		op:   trace.NewOperator(cfg.Seed + 1),
+		ueIP: "ft-ip-0",
+		live: true,
+		res:  res,
+	}
+
+	// Control plane: seeded principals and a fixed certificate epoch so
+	// two runs with the same seed are bit-identical regardless of wall
+	// clock.
+	epoch := time.Unix(1_750_000_000, 0)
+	ca, err := pki.NewCAFromSeed("ft-ca", bytes.Repeat([]byte{81}, 32))
+	if err != nil {
+		return nil, err
+	}
+	brokerKey, err := pki.KeyPairFromSeed(bytes.Repeat([]byte{82}, 32))
+	if err != nil {
+		return nil, err
+	}
+	w.brkCfg = broker.DefaultConfig("broker.failover", brokerKey, ca.Public())
+	w.brkCfg.Now = func() time.Time { return epoch }
+	w.brk = broker.New(w.brkCfg)
+	w.brokerPub = brokerKey.Public()
+
+	ueKey, err := pki.KeyPairFromSeed(bytes.Repeat([]byte{83}, 32))
+	if err != nil {
+		return nil, err
+	}
+	idU := w.brk.RegisterUser(ueKey.Public())
+	w.ueCB = &sap.UEState{IDU: idU, IDB: "broker.failover", Key: ueKey, BrokerPub: w.brokerPub}
+
+	for i := range w.telcos {
+		key, err := pki.KeyPairFromSeed(bytes.Repeat([]byte{byte(84 + i)}, 32))
+		if err != nil {
+			return nil, err
+		}
+		id := fmt.Sprintf("ft-btelco-%d", i)
+		cert := ca.Issue(id, "btelco", key.Public(), epoch.Add(-time.Hour), epoch.Add(24*time.Hour))
+		w.telcos[i] = &sap.TelcoState{
+			IDT: id, Key: key, Cert: cert,
+			Terms: sap.ServiceTerms{Cap: qos.DefaultCapability(), PricePerGB: 1.0},
+		}
+		w.agws[i] = epc.NewAGW(epc.AGWConfig{Telco: w.telcos[i], Brokers: foDirectory{w}})
+	}
+
+	// Data plane.
+	w.link = w.op.CellularLink(cfg.Route, cfg.Night)
+	w.baseLoss = w.link.Loss
+	w.sim.Connect(ServerIP, w.ueIP, w.link)
+	w.conn = mptcp.NewConn(w.sim, ServerIP, w.ueIP, mptcp.Config{
+		Multipath: true, AddrWorkWait: 500 * time.Millisecond, Timeout: 60 * time.Second,
+	})
+
+	// Initial attach, synchronously, before the clock starts.
+	if err := w.tryAttach(0); err != nil {
+		return nil, fmt.Errorf("testbed: initial attach: %w", err)
+	}
+	w.res.Attaches++
+	w.res.AttachAttempts++
+
+	// First snapshot at t=0 so a crash always has state to restore.
+	w.snapshot()
+	var snapTick func()
+	snapTick = func() {
+		w.snapshot()
+		if w.sim.Now() < cfg.Duration {
+			w.sim.After(cfg.SnapshotEvery, snapTick)
+		}
+	}
+	w.sim.After(cfg.SnapshotEvery, snapTick)
+	return w, nil
+}
+
+// foDirectory routes AGW broker lookups to the world's current broker
+// instance — or fails when the broker process is down.
+type foDirectory struct{ w *foWorld }
+
+func (d foDirectory) Lookup(idB string) (epc.BrokerClient, pki.PublicIdentity, error) {
+	if idB != d.w.brkCfg.ID {
+		return nil, pki.PublicIdentity{}, fmt.Errorf("testbed: unknown broker %q", idB)
+	}
+	return foBrokerClient(d), d.w.brokerPub, nil
+}
+
+type foBrokerClient struct{ w *foWorld }
+
+func (c foBrokerClient) Authenticate(req *sap.AuthReqT) (*sap.AuthResp, error) {
+	if !c.w.live || c.w.brk == nil {
+		return nil, errors.New("testbed: broker unreachable")
+	}
+	return c.w.brk.HandleAuthRequest(req)
+}
+
+func (w *foWorld) snapshot() {
+	if w.live && w.brk != nil {
+		w.lastSnap = w.brk.Snapshot()
+		w.res.Snapshots++
+	}
+}
+
+// tryAttach performs one SAP attach attempt through bTelco ti, with a
+// fresh device identity per attempt (AGW sessions are keyed by RAN id).
+func (w *foWorld) tryAttach(ti int) error {
+	if w.telcoDown[ti] {
+		return fmt.Errorf("testbed: btelco %d down", ti)
+	}
+	ranID := fmt.Sprintf("ft-ue-%d", w.res.AttachAttempts)
+	dev := ue.NewDevice(ranID, nil, w.ueCB)
+	_, err := dev.AttachSAP(func(envelope []byte) ([]byte, error) {
+		if w.telcoDown[ti] {
+			return nil, fmt.Errorf("testbed: btelco %d died mid-attach", ti)
+		}
+		return w.agws[ti].HandleNAS(ranID, envelope)
+	}, w.telcos[ti].IDT)
+	return err
+}
+
+// startAttach launches the retry state machine for the UE's new address.
+// Attempts run as simulator events; each failure schedules the next
+// attempt after the machine's backoff (retry-after hints floor it), and a
+// later handover supersedes the whole storm via attachSeq.
+func (w *foWorld) startAttach(newIP string) {
+	w.attachSeq++
+	seq := w.attachSeq
+	fsm := ue.NewAttachFSM(w.cfg.Retry, len(w.agws), w.sim.Rand())
+	base := w.serving
+	var attempt func()
+	attempt = func() {
+		if seq != w.attachSeq || w.runErr != nil {
+			return
+		}
+		ti := (base + fsm.Candidate()) % len(w.agws)
+		w.res.AttachAttempts++
+		err := w.tryAttach(ti)
+		if err == nil {
+			w.serving = ti
+			w.res.Attaches++
+			w.res.AttachRetries += fsm.Attempts()
+			w.res.Fallbacks += fsm.Fallbacks()
+			w.resolveAttach(w.sim.Now())
+			w.sim.After(w.cfg.AttachLatency, func() {
+				if seq == w.attachSeq {
+					w.conn.AddrAvailable(newIP)
+				}
+			})
+			return
+		}
+		delay, giveUp := fsm.Fail(err)
+		if giveUp {
+			// Budget exhausted: the UE stays detached until the next
+			// mobility event restarts the machine.
+			w.res.GiveUps++
+			return
+		}
+		w.sim.After(delay, attempt)
+	}
+	attempt()
+}
+
+// handover fires one mobility event: invalidate the address, install a
+// fresh tower path, and run the attach state machine for the new address.
+func (w *foWorld) handover() {
+	w.res.Handovers++
+	w.conn.AddrInvalidated()
+	old := w.ueIP
+	w.ueIdx++
+	w.ueIP = fmt.Sprintf("ft-ip-%d", w.ueIdx)
+	w.sim.Disconnect(ServerIP, old)
+	w.link = w.op.CellularLink(w.cfg.Route, w.cfg.Night)
+	w.baseLoss = w.link.Loss
+	w.applyFrameLoss()
+	w.sim.Connect(ServerIP, w.ueIP, w.link)
+	w.startAttach(w.ueIP)
+}
+
+func (w *foWorld) applyFrameLoss() {
+	loss := w.baseLoss + w.frameLoss
+	if loss > 0.95 {
+		loss = 0.95
+	}
+	w.link.Loss = loss
+}
+
+// hooks binds the chaos schedule to this world.
+func (w *foWorld) hooks() chaos.Hooks {
+	return chaos.Hooks{
+		LinkFlap: func(down bool) {
+			if down {
+				w.flapped = w.link
+				w.link.Down = true
+				return
+			}
+			if w.flapped != nil {
+				w.flapped.Down = false
+				w.flapped = nil
+			}
+			w.link.Down = false
+		},
+		LinkPause: func(d time.Duration) {
+			w.link.PausedUntil = w.sim.Now() + d
+		},
+		BrokerCrash: func() {
+			// The process dies with its in-memory state; only the last
+			// snapshot survives.
+			if w.brk != nil {
+				w.res.Shed += w.brk.ShedCount()
+			}
+			w.live = false
+			w.brk = nil
+		},
+		BrokerRestart: func() {
+			nb, err := broker.Restart(w.brkCfg, w.lastSnap, w.cfg.ShedFor)
+			if err != nil {
+				if w.runErr == nil {
+					w.runErr = err
+				}
+				return
+			}
+			w.brk = nb
+			w.live = true
+			w.res.BrokerRestores++
+			w.sim.After(w.cfg.ShedFor, nb.Resume)
+		},
+		TelcoCrash: func() {
+			w.crashed = w.serving
+			w.telcoDown[w.crashed] = true
+			// The serving radio goes with it: force a detach and let the
+			// retry machine fall back to the surviving bTelco.
+			w.handover()
+		},
+		TelcoRestart: func() {
+			w.telcoDown[w.crashed] = false
+		},
+		// The simulator carries abstract packets, not byte frames, so
+		// frame corruption/truncation maps to extra loss on the radio
+		// link (a corrupted frame fails its checksum and is dropped);
+		// byte-exact corruption runs against real sockets via
+		// chaos.FaultyConn in the wire tests.
+		FrameFault: func(corruptRate, truncRate float64) {
+			w.frameLoss = corruptRate + truncRate
+			w.applyFrameLoss()
+		},
+	}
+}
+
+func (w *foWorld) resolveAttach(now time.Duration) {
+	for _, watch := range w.attachWatch {
+		if !watch.resolved && now >= watch.ready {
+			watch.resolved = true
+			watch.outcome.Recovered = true
+			watch.outcome.Recovery = now - watch.outcome.At
+		}
+	}
+}
+
+func (w *foWorld) resolveData(now time.Duration) {
+	for _, watch := range w.dataWatch {
+		if !watch.resolved && now >= watch.ready {
+			watch.resolved = true
+			watch.outcome.Recovered = true
+			watch.outcome.Recovery = now - watch.outcome.At
+		}
+	}
+}
+
+// runFailoverOnce executes one run (baseline when the schedule is empty)
+// and returns the goodput series. Outcomes accumulate into res.
+func runFailoverOnce(cfg FailoverConfig, sched chaos.Schedule, res *FailoverResult) (apps.IperfResult, error) {
+	w, err := newFoWorld(cfg, res)
+	if err != nil {
+		return apps.IperfResult{}, err
+	}
+
+	// Route-driven mobility.
+	for _, at := range cfg.Route.Handovers(w.sim.Rand(), cfg.Night, cfg.Duration) {
+		at := at
+		w.sim.At(at, func() { w.handover() })
+	}
+
+	// Arm the fault schedule and its recovery watchers. Attach-path
+	// faults additionally force a mobility event 1 s into the window (or
+	// halfway through short windows), so every outage provably contains
+	// an attach storm whatever the route schedule does. Outcomes live in
+	// a fixed-size slice so the watchers' element pointers stay valid.
+	outcomes := make([]FaultOutcome, len(sched.Faults))
+	for i := range sched.Faults {
+		f := sched.Faults[i]
+		outcomes[i] = FaultOutcome{Kind: f.Kind, At: f.At, Dur: f.Dur}
+		watch := &foWatcher{outcome: &outcomes[i]}
+		switch f.Kind {
+		case chaos.KindBroker, chaos.KindCrash:
+			watch.ready = f.At
+			w.attachWatch = append(w.attachWatch, watch)
+			force := f.At + time.Second
+			if f.Dur < 2*time.Second {
+				force = f.At + f.Dur/2
+			}
+			if f.Kind == chaos.KindBroker { // crash faults force their own handover
+				w.sim.At(force, func() { w.handover() })
+			}
+		default:
+			watch.ready = f.At + f.Dur
+			w.dataWatch = append(w.dataWatch, watch)
+		}
+	}
+	sched.Replay(w.sim, w.hooks())
+
+	// Goodput measurement; chain onto the iperf delivery tap to feed the
+	// data-plane recovery watchers.
+	ip := apps.NewIperf(w.sim, w.conn, cfg.Bin)
+	prev := w.conn.OnDeliver
+	w.conn.OnDeliver = func(n int) {
+		prev(n)
+		if n > 0 && len(w.dataWatch) > 0 {
+			w.resolveData(w.sim.Now())
+		}
+	}
+	result := ip.Run(cfg.Duration)
+	res.Outcomes = append(res.Outcomes, outcomes...)
+	if w.runErr != nil {
+		return result, w.runErr
+	}
+	for _, watch := range append(w.dataWatch, w.attachWatch...) {
+		if !watch.resolved {
+			res.Unrecovered++
+		}
+	}
+	return result, nil
+}
+
+// windowAvg averages series bins overlapping [from, to).
+func windowAvg(series []float64, bin, from, to time.Duration) float64 {
+	if bin <= 0 || len(series) == 0 {
+		return 0
+	}
+	lo := int(from / bin)
+	hi := int((to + bin - 1) / bin)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(series) {
+		hi = len(series)
+	}
+	if hi <= lo {
+		return 0
+	}
+	var sum float64
+	for _, v := range series[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}
+
+// RunFailover runs the experiment: a fault-free baseline and a faulted run
+// share (seed, config); per-fault dips compare the two over each fault's
+// window.
+func RunFailover(cfg FailoverConfig) (FailoverResult, error) {
+	cfg = cfg.Defaults()
+	res := FailoverResult{Config: cfg, Schedule: cfg.Spec.Compile(cfg.Seed, cfg.Duration)}
+
+	var baseRes FailoverResult // throwaway counters for the baseline run
+	baseRes.Config = cfg
+	baseline, err := runFailoverOnce(cfg, chaos.Schedule{Seed: cfg.Seed, Horizon: cfg.Duration}, &baseRes)
+	if err != nil {
+		return res, fmt.Errorf("testbed: failover baseline: %w", err)
+	}
+	res.BaselineBps = baseline.AvgBps
+
+	faulted, err := runFailoverOnce(cfg, res.Schedule, &res)
+	if err != nil {
+		return res, fmt.Errorf("testbed: failover faulted run: %w", err)
+	}
+	res.FaultedBps = faulted.AvgBps
+
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		from, to := o.At, o.At+o.Dur+2*time.Second
+		o.BaselineBps = windowAvg(baseline.Series, cfg.Bin, from, to)
+		o.FaultedBps = windowAvg(faulted.Series, cfg.Bin, from, to)
+		if o.BaselineBps > 0 {
+			o.DipPct = 100 * (1 - o.FaultedBps/o.BaselineBps)
+			if o.DipPct < 0 {
+				o.DipPct = 0
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render produces the deterministic human-readable summary: every value is
+// derived from virtual time and seeded randomness, so two runs with the
+// same (seed, spec, config) are byte-identical — the property the replay
+// test asserts.
+func (r FailoverResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "failover seed=%d dur=%v route=%s night=%v spec=%q\n",
+		r.Config.Seed, r.Config.Duration, r.Config.Route.Name, r.Config.Night, r.Config.Spec.String())
+	b.WriteString(r.Schedule.String())
+	fmt.Fprintf(&b, "baseline=%.3f Mbps faulted=%.3f Mbps\n", r.BaselineBps/1e6, r.FaultedBps/1e6)
+	for _, o := range r.Outcomes {
+		rec := "UNRECOVERED"
+		if o.Recovered {
+			rec = fmt.Sprintf("recovery=%v", o.Recovery)
+		}
+		fmt.Fprintf(&b, "fault %s at=%v dur=%v %s dip=%.1f%% (base=%.3f faulted=%.3f Mbps)\n",
+			o.Kind, o.At, o.Dur, rec, o.DipPct, o.BaselineBps/1e6, o.FaultedBps/1e6)
+	}
+	fmt.Fprintf(&b, "attaches=%d attempts=%d retries=%d fallbacks=%d giveups=%d handovers=%d\n",
+		r.Attaches, r.AttachAttempts, r.AttachRetries, r.Fallbacks, r.GiveUps, r.Handovers)
+	fmt.Fprintf(&b, "broker: snapshots=%d restores=%d shed=%d\n", r.Snapshots, r.BrokerRestores, r.Shed)
+	fmt.Fprintf(&b, "unrecovered=%d\n", r.Unrecovered)
+	return b.String()
+}

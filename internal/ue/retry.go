@@ -1,0 +1,172 @@
+package ue
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cellbricks/internal/wire"
+)
+
+// This file is the attach-path failure recovery of the availability story:
+// "a user simply detaches from one cell tower and independently attaches
+// to a new tower" — which only holds if the attach itself survives a dying
+// bTelco or a recovering broker. The retry state machine rotates through
+// candidate bTelcos with jittered exponential backoff, honouring typed
+// retry-after hints from a degraded broker. The decision logic (AttachFSM)
+// is pure so the same machine drives both real sockets (synchronous
+// AttachSAPRetry, injected sleep) and the discrete-event simulator (the
+// testbed failover experiment schedules each Fail's delay as a sim event).
+
+// RetryPolicy tunes the attach state machine.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget across all candidate
+	// bTelcos before the machine gives up (default 8).
+	MaxAttempts int
+	// BaseBackoff is the delay after the first failure (default 200 ms),
+	// doubling per attempt and capped at MaxBackoff (default 5 s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac randomizes each backoff by up to this fraction (0..1).
+	// Jitter draws from the rng handed to the FSM, so a seeded source
+	// replays exactly.
+	JitterFrac float64
+}
+
+// WithDefaults fills zero fields.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 200 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	return p
+}
+
+// Backoff computes the jittered exponential delay after the attempt'th
+// failure (1-based). rng may be nil for no jitter.
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	p = p.WithDefaults()
+	d := p.BaseBackoff << (attempt - 1)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	if p.JitterFrac > 0 && rng != nil {
+		d = time.Duration(float64(d) * (1 - p.JitterFrac/2 + p.JitterFrac*rng.Float64()))
+	}
+	return d
+}
+
+// Budget is the worst-case total delay the policy can insert across a full
+// attempt budget (sum of maximal backoffs) — the bound the failover
+// experiment asserts recovery against.
+func (p RetryPolicy) Budget() time.Duration {
+	p = p.WithDefaults()
+	var total time.Duration
+	for a := 1; a < p.MaxAttempts; a++ {
+		d := p.BaseBackoff << (a - 1)
+		if d > p.MaxBackoff || d <= 0 {
+			d = p.MaxBackoff
+		}
+		total += time.Duration(float64(d) * (1 + p.JitterFrac/2))
+	}
+	return total
+}
+
+// ErrAttachBudget is returned when the state machine exhausts its attempt
+// budget without a successful attach.
+var ErrAttachBudget = errors.New("ue: attach retry budget exhausted")
+
+// AttachFSM is the retry/fallback decision machine. It owns no I/O: the
+// caller performs an attach attempt against Candidate(), reports the
+// outcome, and schedules the returned delay however its clock works.
+type AttachFSM struct {
+	pol        RetryPolicy
+	rng        *rand.Rand
+	candidates int
+	attempt    int // failures so far
+	cand       int
+	fallbacks  int
+}
+
+// NewAttachFSM builds a machine over `candidates` bTelcos (the serving one
+// first). rng supplies jitter and may be nil.
+func NewAttachFSM(pol RetryPolicy, candidates int, rng *rand.Rand) *AttachFSM {
+	if candidates < 1 {
+		candidates = 1
+	}
+	return &AttachFSM{pol: pol.WithDefaults(), rng: rng, candidates: candidates}
+}
+
+// Candidate returns the index of the bTelco to try next.
+func (m *AttachFSM) Candidate() int { return m.cand }
+
+// Attempts reports how many failures the machine has absorbed.
+func (m *AttachFSM) Attempts() int { return m.attempt }
+
+// Fallbacks reports how many times the machine moved off candidate 0.
+func (m *AttachFSM) Fallbacks() int { return m.fallbacks }
+
+// Fail records a failed attempt and decides what happens next: wait
+// `delay`, then retry against Candidate() — which rotates to the next
+// bTelco, the fallback path for a serving bTelco that died mid-attach.
+// A *wire.RetryAfterError (a shedding broker) floors the delay at the
+// server's hint. giveUp reports budget exhaustion.
+func (m *AttachFSM) Fail(err error) (delay time.Duration, giveUp bool) {
+	m.attempt++
+	if m.attempt >= m.pol.MaxAttempts {
+		return 0, true
+	}
+	prev := m.cand
+	m.cand = (m.cand + 1) % m.candidates
+	if prev == 0 && m.cand != 0 {
+		m.fallbacks++
+	}
+	delay = m.pol.Backoff(m.attempt, m.rng)
+	var ra *wire.RetryAfterError
+	if errors.As(err, &ra) && ra.After > delay {
+		delay = ra.After
+	}
+	return delay, false
+}
+
+// AttachCandidate is one (bTelco, transport) the device can attach
+// through. The serving bTelco goes first; later entries are fallbacks.
+type AttachCandidate struct {
+	TelcoID string
+	Tx      NASTransport
+}
+
+// AttachSAPRetry runs the SAP attach through the retry state machine
+// against real transports: it tries candidates in FSM order, sleeping the
+// machine's backoff between attempts (sleep may be nil for time.Sleep; rng
+// may be nil for no jitter). It returns the attachment, the index of the
+// candidate that served it, and the machine (for attempt accounting).
+func (d *Device) AttachSAPRetry(pol RetryPolicy, rng *rand.Rand, sleep func(time.Duration), cands ...AttachCandidate) (*Attachment, int, *AttachFSM, error) {
+	if len(cands) == 0 {
+		return nil, 0, nil, errors.New("ue: no attach candidates")
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	fsm := NewAttachFSM(pol, len(cands), rng)
+	var lastErr error
+	for {
+		c := cands[fsm.Candidate()]
+		a, err := d.AttachSAP(c.Tx, c.TelcoID)
+		if err == nil {
+			return a, fsm.Candidate(), fsm, nil
+		}
+		lastErr = err
+		delay, giveUp := fsm.Fail(err)
+		if giveUp {
+			return nil, 0, fsm, fmt.Errorf("%w: %v", ErrAttachBudget, lastErr)
+		}
+		sleep(delay)
+	}
+}

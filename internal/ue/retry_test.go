@@ -1,0 +1,255 @@
+package ue
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cellbricks/internal/broker"
+	"cellbricks/internal/epc"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/qos"
+	"cellbricks/internal/sap"
+	"cellbricks/internal/wire"
+)
+
+// --- AttachFSM unit tests ---
+
+func TestFSMRotatesCandidates(t *testing.T) {
+	m := NewAttachFSM(RetryPolicy{MaxAttempts: 10}, 3, nil)
+	want := []int{0, 1, 2, 0, 1}
+	for i, w := range want {
+		if got := m.Candidate(); got != w {
+			t.Fatalf("attempt %d: candidate = %d, want %d", i, got, w)
+		}
+		if _, giveUp := m.Fail(errors.New("x")); giveUp {
+			t.Fatalf("gave up at attempt %d", i)
+		}
+	}
+	if m.Fallbacks() != 2 {
+		t.Fatalf("fallbacks = %d, want 2 (two departures from candidate 0)", m.Fallbacks())
+	}
+}
+
+func TestFSMBudgetExhaustion(t *testing.T) {
+	m := NewAttachFSM(RetryPolicy{MaxAttempts: 3}, 2, nil)
+	if _, giveUp := m.Fail(errors.New("a")); giveUp {
+		t.Fatal("gave up after 1 failure with budget 3")
+	}
+	if _, giveUp := m.Fail(errors.New("b")); giveUp {
+		t.Fatal("gave up after 2 failures with budget 3")
+	}
+	if _, giveUp := m.Fail(errors.New("c")); !giveUp {
+		t.Fatal("did not give up after exhausting the budget")
+	}
+}
+
+func TestFSMBackoffGrowsAndCaps(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 10, BaseBackoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond}
+	m := NewAttachFSM(pol, 1, nil)
+	want := []time.Duration{100, 200, 400, 400, 400}
+	for i, w := range want {
+		d, giveUp := m.Fail(errors.New("x"))
+		if giveUp {
+			t.Fatalf("gave up at %d", i)
+		}
+		if d != w*time.Millisecond {
+			t.Fatalf("failure %d: delay = %v, want %v", i+1, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestFSMRetryAfterFloorsDelay(t *testing.T) {
+	m := NewAttachFSM(RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond}, 2, nil)
+	hint := &wire.RetryAfterError{After: 2 * time.Second}
+	d, _ := m.Fail(fmt.Errorf("%w: shed: %w", ErrRejected, hint))
+	if d < 2*time.Second {
+		t.Fatalf("delay %v ignored the 2s retry-after floor", d)
+	}
+}
+
+func TestFSMJitterDeterministic(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 8, BaseBackoff: 100 * time.Millisecond, JitterFrac: 0.4}
+	collect := func(seed int64) []time.Duration {
+		m := NewAttachFSM(pol, 2, rand.New(rand.NewSource(seed)))
+		var ds []time.Duration
+		for {
+			d, giveUp := m.Fail(errors.New("x"))
+			if giveUp {
+				return ds
+			}
+			ds = append(ds, d)
+		}
+	}
+	a, b := collect(5), collect(5)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d: %v vs %v — jitter not seed-deterministic", i, a[i], b[i])
+		}
+	}
+	c := collect(6)
+	same := len(a) == len(c)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == c[i]
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestPolicyBudgetBoundsWorstCase(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 6, BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, JitterFrac: 0.5}
+	budget := pol.Budget()
+	m := NewAttachFSM(pol, 2, rand.New(rand.NewSource(1)))
+	var total time.Duration
+	for {
+		d, giveUp := m.Fail(errors.New("x"))
+		if giveUp {
+			break
+		}
+		total += d
+	}
+	if total > budget {
+		t.Fatalf("actual worst-case %v exceeds Budget() %v", total, budget)
+	}
+}
+
+// --- AttachSAPRetry against a real control-plane stack ---
+
+// retryWorld is a minimal broker + two-AGW control plane.
+type retryWorld struct {
+	brk    *broker.Brokerd
+	agws   [2]*epc.AGW
+	telcos [2]*sap.TelcoState
+	cb     *sap.UEState
+	down   [2]bool
+}
+
+type retryDirectory struct{ w *retryWorld }
+
+type retryBrokerClient struct{ b *broker.Brokerd }
+
+func (c retryBrokerClient) Authenticate(req *sap.AuthReqT) (*sap.AuthResp, error) {
+	return c.b.HandleAuthRequest(req)
+}
+
+func (d retryDirectory) Lookup(idB string) (epc.BrokerClient, pki.PublicIdentity, error) {
+	if idB != d.w.brk.ID() {
+		return nil, pki.PublicIdentity{}, fmt.Errorf("unknown broker %q", idB)
+	}
+	return retryBrokerClient{d.w.brk}, d.w.brk.Public(), nil
+}
+
+func newRetryWorld(t *testing.T) *retryWorld {
+	t.Helper()
+	now := time.Unix(1_760_000_000, 0)
+	ca, err := pki.NewCAFromSeed("rt-ca", bytes.Repeat([]byte{60}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := testKey(t, 61)
+	cfg := broker.DefaultConfig("broker.retry", bk, ca.Public())
+	cfg.Now = func() time.Time { return now }
+	w := &retryWorld{brk: broker.New(cfg)}
+
+	uk := testKey(t, 62)
+	idU := w.brk.RegisterUser(uk.Public())
+	w.cb = &sap.UEState{IDU: idU, IDB: "broker.retry", Key: uk, BrokerPub: bk.Public()}
+
+	for i := range w.telcos {
+		tk := testKey(t, byte(63+i))
+		id := fmt.Sprintf("rt-telco-%d", i)
+		cert := ca.Issue(id, "btelco", tk.Public(), now.Add(-time.Hour), now.Add(time.Hour))
+		w.telcos[i] = &sap.TelcoState{
+			IDT: id, Key: tk, Cert: cert,
+			Terms: sap.ServiceTerms{Cap: qos.DefaultCapability(), PricePerGB: 1.0},
+		}
+		w.agws[i] = epc.NewAGW(epc.AGWConfig{Telco: w.telcos[i], Brokers: retryDirectory{w}})
+	}
+	return w
+}
+
+func (w *retryWorld) candidate(i int, ranID string) AttachCandidate {
+	return AttachCandidate{
+		TelcoID: w.telcos[i].IDT,
+		Tx: func(envelope []byte) ([]byte, error) {
+			if w.down[i] {
+				return nil, fmt.Errorf("btelco %d down", i)
+			}
+			return w.agws[i].HandleNAS(ranID, envelope)
+		},
+	}
+}
+
+func TestAttachSAPRetryFallsBackToSecondary(t *testing.T) {
+	w := newRetryWorld(t)
+	w.down[0] = true // serving bTelco is dead
+	d := NewDevice("rt-ue-1", nil, w.cb)
+	var slept []time.Duration
+	pol := RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond}
+	a, served, fsm, err := d.AttachSAPRetry(pol, nil, func(dur time.Duration) { slept = append(slept, dur) },
+		w.candidate(0, "rt-ue-1a"), w.candidate(1, "rt-ue-1b"))
+	if err != nil {
+		t.Fatalf("AttachSAPRetry: %v", err)
+	}
+	if served != 1 {
+		t.Fatalf("served by candidate %d, want the fallback (1)", served)
+	}
+	if a == nil || a.IP == "" {
+		t.Fatalf("attachment = %+v", a)
+	}
+	if fsm.Attempts() != 1 || fsm.Fallbacks() != 1 {
+		t.Fatalf("attempts=%d fallbacks=%d, want 1 and 1", fsm.Attempts(), fsm.Fallbacks())
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %v, want exactly one backoff", slept)
+	}
+}
+
+func TestAttachSAPRetryHonoursBrokerShed(t *testing.T) {
+	w := newRetryWorld(t)
+	w.brk.ShedLoad(40 * time.Millisecond)
+	d := NewDevice("rt-ue-2", nil, w.cb)
+	var slept []time.Duration
+	sleep := func(dur time.Duration) {
+		slept = append(slept, dur)
+		// The broker recovers while the UE backs off.
+		w.brk.Resume()
+	}
+	pol := RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond}
+	_, _, fsm, err := d.AttachSAPRetry(pol, nil, sleep,
+		w.candidate(0, "rt-ue-2a"), w.candidate(1, "rt-ue-2b"))
+	if err != nil {
+		t.Fatalf("AttachSAPRetry: %v", err)
+	}
+	if fsm.Attempts() != 1 {
+		t.Fatalf("attempts = %d, want 1 (one shed, one success)", fsm.Attempts())
+	}
+	if len(slept) != 1 || slept[0] < 40*time.Millisecond {
+		t.Fatalf("backoff %v did not honour the broker's 40ms retry-after hint", slept)
+	}
+	if w.brk.ShedCount() != 1 {
+		t.Fatalf("ShedCount = %d, want 1", w.brk.ShedCount())
+	}
+}
+
+func TestAttachSAPRetryBudgetExhausts(t *testing.T) {
+	w := newRetryWorld(t)
+	w.down[0], w.down[1] = true, true
+	d := NewDevice("rt-ue-3", nil, w.cb)
+	pol := RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}
+	_, _, fsm, err := d.AttachSAPRetry(pol, nil, func(time.Duration) {},
+		w.candidate(0, "rt-ue-3a"), w.candidate(1, "rt-ue-3b"))
+	if !errors.Is(err, ErrAttachBudget) {
+		t.Fatalf("err = %v, want ErrAttachBudget", err)
+	}
+	if fsm.Attempts() != 3 {
+		t.Fatalf("attempts = %d, want 3", fsm.Attempts())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"cellbricks/internal/nas"
 	"cellbricks/internal/pki"
 	"cellbricks/internal/sap"
+	"cellbricks/internal/wire"
 )
 
 // NASTransport carries one NAS envelope uplink and returns the downlink
@@ -310,6 +311,12 @@ func (d *Device) Detach(tx NASTransport) error {
 
 func rejectOr(msg nas.Message) error {
 	if rej, ok := msg.(*nas.AttachReject); ok {
+		if rej.RetryAfterMS > 0 {
+			// A degraded broker's load-shedding hint rode the reject; keep
+			// it typed so the attach state machine can honour the backoff.
+			return fmt.Errorf("%w: %s: %w", ErrRejected, rej.Cause,
+				&wire.RetryAfterError{After: time.Duration(rej.RetryAfterMS) * time.Millisecond})
+		}
 		return fmt.Errorf("%w: %s", ErrRejected, rej.Cause)
 	}
 	return fmt.Errorf("%w: %T", ErrUnexpected, msg)

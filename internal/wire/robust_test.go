@@ -1,0 +1,276 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cellbricks/internal/chaos"
+)
+
+// --- framing edge cases ---
+
+func TestReadFrameZeroLength(t *testing.T) {
+	// A zero length prefix is never legal (the type byte alone costs 1):
+	// it must fail loudly, not loop or return an empty frame.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("zero-length frame: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameOversizedPrefix(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncatedHeader(t *testing.T) {
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Fatal("truncated header: expected error")
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeNAS, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadFrame(bytes.NewReader(short)); err == nil {
+		t.Fatal("truncated payload: expected error")
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeNAS, make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized write leaked %d bytes onto the stream", buf.Len())
+	}
+}
+
+// --- handler panic isolation ---
+
+func TestHandlerPanicClosesOneConn(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", func(mt byte, p []byte) (byte, []byte, error) {
+		if mt == TypeNAS {
+			panic("handler bug")
+		}
+		return TypeAIA, p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := DialOptions(s.Addr(), Options{MaxRetries: 2, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The panicking request gets a TypeError reply...
+	_, _, err = c.Call(TypeNAS, []byte("boom"))
+	if err == nil || !strings.Contains(err.Error(), "handler panic") {
+		t.Fatalf("err = %v, want handler panic error", err)
+	}
+	if got := s.HandlerPanics(); got != 1 {
+		t.Fatalf("HandlerPanics = %d, want 1", got)
+	}
+	// ...the connection is closed, but the server survives: the next call
+	// transparently redials and succeeds.
+	rt, reply, err := c.Call(TypeAIR, []byte("alive"))
+	if err != nil {
+		t.Fatalf("call after panic: %v", err)
+	}
+	if rt != TypeAIA || string(reply) != "alive" {
+		t.Fatalf("reply = %d %q", rt, reply)
+	}
+	if st := c.Stats(); st.Redials == 0 {
+		t.Fatalf("expected a redial after the server closed the conn, stats %+v", st)
+	}
+}
+
+// --- idle timeout + transparent redial ---
+
+func TestIdleTimeoutAndRedial(t *testing.T) {
+	s, err := NewServerOptions("127.0.0.1:0", func(mt byte, p []byte) (byte, []byte, error) {
+		return TypeNASReply, p, nil
+	}, ServerOptions{IdleTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := DialOptions(s.Addr(), Options{MaxRetries: 3, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, _, err := c.Call(TypeNAS, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// Let the server reap the idle connection, then call again: the retry
+	// loop must mark the dead conn broken and redial rather than desync.
+	time.Sleep(200 * time.Millisecond)
+	rt, reply, err := c.Call(TypeNAS, []byte("two"))
+	if err != nil {
+		t.Fatalf("call after idle reap: %v", err)
+	}
+	if rt != TypeNASReply || string(reply) != "two" {
+		t.Fatalf("reply = %d %q", rt, reply)
+	}
+	st := c.Stats()
+	if st.Broken == 0 || st.Redials == 0 {
+		t.Fatalf("expected broken+redial counters, stats %+v", st)
+	}
+}
+
+// --- typed retry-after ---
+
+func TestRetryAfterSurfacesTyped(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", func(mt byte, p []byte) (byte, []byte, error) {
+		return 0, nil, &RetryAfterError{After: 250 * time.Millisecond}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, _, err = c.Call(TypeSAPAuthRequest, nil)
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) {
+		t.Fatalf("err = %v, want *RetryAfterError", err)
+	}
+	if ra.After != 250*time.Millisecond {
+		t.Fatalf("After = %v, want 250ms", ra.After)
+	}
+}
+
+func TestRetryAfterHonoredAsBackoffFloor(t *testing.T) {
+	var calls atomic.Int64
+	s, err := NewServer("127.0.0.1:0", func(mt byte, p []byte) (byte, []byte, error) {
+		if calls.Add(1) == 1 {
+			return 0, nil, &RetryAfterError{After: 80 * time.Millisecond}
+		}
+		return TypeSAPAuthResponse, []byte("granted"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var slept []time.Duration
+	c, err := DialOptions(s.Addr(), Options{
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+		Sleep:        func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rt, reply, err := c.Call(TypeSAPAuthRequest, nil)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if rt != TypeSAPAuthResponse || string(reply) != "granted" {
+		t.Fatalf("reply = %d %q", rt, reply)
+	}
+	if len(slept) != 1 || slept[0] < 80*time.Millisecond {
+		t.Fatalf("backoff %v did not honour the 80ms retry-after floor", slept)
+	}
+	st := c.Stats()
+	if st.Retries != 1 || st.Broken != 0 {
+		t.Fatalf("shed retry must not break the conn, stats %+v", st)
+	}
+}
+
+// --- deterministic fault injection on the dialer ---
+
+func TestCallRecoversFromTruncatedWrite(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", func(mt byte, p []byte) (byte, []byte, error) {
+		return TypeNASReply, p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// First dial yields a conn that truncates its first write (and lies
+	// about it — the peer sees a frame that never completes); subsequent
+	// dials are clean. The client must abandon the poisoned conn and
+	// succeed on the redial.
+	var dials atomic.Int64
+	c, err := DialOptions(s.Addr(), Options{
+		MaxRetries:   3,
+		RetryBackoff: time.Millisecond,
+		Dialer: func(addr string) (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			if dials.Add(1) == 1 {
+				return chaos.NewFaultyConn(conn, 7, 0, 1.0), nil
+			}
+			return conn, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rt, reply, err := c.Call(TypeNAS, []byte("through the fire"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if rt != TypeNASReply || string(reply) != "through the fire" {
+		t.Fatalf("reply = %d %q", rt, reply)
+	}
+	st := c.Stats()
+	if st.Broken == 0 || st.Redials == 0 {
+		t.Fatalf("expected the truncated conn to be broken and redialled, stats %+v", st)
+	}
+}
+
+func TestCallTimeoutBreaksConn(t *testing.T) {
+	block := make(chan struct{})
+	s, err := NewServer("127.0.0.1:0", func(mt byte, p []byte) (byte, []byte, error) {
+		<-block
+		return TypeNASReply, p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(block); s.Close() }()
+
+	c, err := DialOptions(s.Addr(), Options{CallTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, _, err := c.Call(TypeNAS, []byte("stuck")); err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if st := c.Stats(); st.Broken != 1 {
+		t.Fatalf("timed-out conn must be broken, stats %+v", st)
+	}
+}

@@ -7,6 +7,14 @@
 // payload. Each Call writes one frame and reads one frame; the server
 // serves calls on a connection strictly in order, which matches the
 // signalling protocols modelled here.
+//
+// Robustness: a Call that fails mid-frame leaves the TCP stream in an
+// undefined framing state, so the client marks the connection broken and
+// transparently redials on the next attempt instead of desyncing. Options
+// adds per-call deadlines and bounded, jittered-exponential-backoff
+// retries; ServerOptions adds idle-connection timeouts. A degraded server
+// can shed load with a typed retry-after reply (TypeRetryAfter /
+// RetryAfterError) that survives the round trip.
 package wire
 
 import (
@@ -14,8 +22,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
 
 // MaxFrame bounds a frame to keep a misbehaving peer from ballooning
@@ -44,6 +54,11 @@ const (
 
 	// Generic error reply: payload is a UTF-8 message.
 	TypeError
+
+	// Load-shedding reply from a degraded server: payload is a uint32
+	// big-endian retry-after hint in milliseconds. Surfaced to callers as
+	// *RetryAfterError.
+	TypeRetryAfter
 )
 
 // Errors.
@@ -51,6 +66,38 @@ var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
 	ErrClosed        = errors.New("wire: connection closed")
 )
+
+// RetryAfterError is the typed load-shedding signal: a degraded server
+// (e.g. a broker warming up after a crash-restart) answers with it instead
+// of queueing work it cannot serve. Callers — the wire client's retry loop
+// and the UE attach state machine — back off for at least After before
+// retrying. The connection itself remains healthy.
+type RetryAfterError struct{ After time.Duration }
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("wire: server degraded, retry after %v", e.After)
+}
+
+// encodeRetryAfter renders the retry-after hint as the TypeRetryAfter
+// payload (uint32 milliseconds, minimum 1).
+func encodeRetryAfter(after time.Duration) []byte {
+	ms := after.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(ms))
+	return b[:]
+}
+
+// decodeRetryAfter parses a TypeRetryAfter payload, defaulting to 100 ms
+// on malformed hints rather than failing the whole exchange.
+func decodeRetryAfter(p []byte) time.Duration {
+	if len(p) != 4 {
+		return 100 * time.Millisecond
+	}
+	return time.Duration(binary.BigEndian.Uint32(p)) * time.Millisecond
+}
 
 // WriteFrame writes one frame.
 func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
@@ -85,29 +132,60 @@ func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
 }
 
 // Handler serves one request frame, returning the reply frame. Returning
-// an error sends a TypeError frame with the error text.
+// an error sends a TypeError frame with the error text (or a
+// TypeRetryAfter frame when the error is a *RetryAfterError).
 type Handler func(msgType byte, payload []byte) (replyType byte, reply []byte, err error)
+
+// ServerOptions tunes server robustness. The zero value keeps connections
+// open indefinitely and backs accept errors off between 5 ms and 1 s.
+type ServerOptions struct {
+	// IdleTimeout closes a connection whose peer sends nothing for this
+	// long (0 = never). A dead or wedged peer then costs one goroutine for
+	// a bounded time instead of forever.
+	IdleTimeout time.Duration
+	// AcceptBackoff is the initial sleep after a non-shutdown Accept
+	// error; it doubles per consecutive failure up to MaxAcceptBackoff.
+	AcceptBackoff    time.Duration
+	MaxAcceptBackoff time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.AcceptBackoff <= 0 {
+		o.AcceptBackoff = 5 * time.Millisecond
+	}
+	if o.MaxAcceptBackoff <= 0 {
+		o.MaxAcceptBackoff = time.Second
+	}
+	return o
+}
 
 // Server accepts connections and serves frames with a Handler.
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	opts    ServerOptions
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
 	wg        sync.WaitGroup
 	done      chan struct{}
 	closeOnce sync.Once
+	panics    uint64
 }
 
-// NewServer starts a server on addr ("127.0.0.1:0" for tests). The
-// returned server is already accepting.
+// NewServer starts a server on addr ("127.0.0.1:0" for tests) with
+// default options. The returned server is already accepting.
 func NewServer(addr string, h Handler) (*Server, error) {
+	return NewServerOptions(addr, h, ServerOptions{})
+}
+
+// NewServerOptions starts a server with explicit robustness options.
+func NewServerOptions(addr string, h Handler, o ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	s := &Server{ln: ln, handler: h, opts: o.withDefaults(), conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -116,8 +194,16 @@ func NewServer(addr string, h Handler) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// HandlerPanics reports how many handler panics the server has recovered.
+func (s *Server) HandlerPanics() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.panics
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := s.opts.AcceptBackoff
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -125,17 +211,46 @@ func (s *Server) acceptLoop() {
 			case <-s.done:
 				return
 			default:
-				// Transient accept error; listener errors after Close land
-				// in the done case above.
-				continue
 			}
+			// Transient accept error (EMFILE, conn reset in backlog, ...):
+			// capped exponential backoff instead of busy-spinning at 100%
+			// CPU on a persistent failure. Listener errors after Close
+			// land in the done case above or here via the done select.
+			t := time.NewTimer(backoff)
+			select {
+			case <-s.done:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			if backoff *= 2; backoff > s.opts.MaxAcceptBackoff {
+				backoff = s.opts.MaxAcceptBackoff
+			}
+			continue
 		}
+		backoff = s.opts.AcceptBackoff
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
+}
+
+// handle runs the handler with panic isolation: a panicking handler costs
+// one connection, not the process.
+func (s *Server) handle(msgType byte, payload []byte) (replyType byte, reply []byte, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("wire: handler panic: %v", r)
+			s.mu.Lock()
+			s.panics++
+			s.mu.Unlock()
+		}
+	}()
+	replyType, reply, err = s.handler(msgType, payload)
+	return
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -147,15 +262,28 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	for {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
 		msgType, payload, err := ReadFrame(conn)
 		if err != nil {
 			return
 		}
-		replyType, reply, err := s.handler(msgType, payload)
+		replyType, reply, err, panicked := s.handle(msgType, payload)
 		if err != nil {
-			replyType, reply = TypeError, []byte(err.Error())
+			var ra *RetryAfterError
+			if errors.As(err, &ra) {
+				replyType, reply = TypeRetryAfter, encodeRetryAfter(ra.After)
+			} else {
+				replyType, reply = TypeError, []byte(err.Error())
+			}
 		}
 		if err := WriteFrame(conn, replyType, reply); err != nil {
+			return
+		}
+		if panicked {
+			// The handler's state for this connection is suspect; reply,
+			// then close this one connection.
 			return
 		}
 	}
@@ -178,47 +306,221 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Options tunes client robustness. The zero value keeps the original
+// behaviour — no deadlines, no in-call retries — except that a transport
+// error now breaks the connection and the next Call transparently redials
+// instead of reusing a desynced frame stream.
+type Options struct {
+	// CallTimeout bounds each attempt's write+read on the socket
+	// (0 = no deadline).
+	CallTimeout time.Duration
+	// DialTimeout bounds each (re)dial (default 5 s).
+	DialTimeout time.Duration
+	// MaxRetries is how many additional attempts a Call makes after a
+	// transport failure or a retry-after reply, redialling as needed.
+	// Remote application errors (TypeError) never retry.
+	MaxRetries int
+	// RetryBackoff is the base of the exponential backoff between
+	// attempts (default 10 ms), capped at MaxBackoff (default 1 s).
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+	// Jitter randomizes each backoff by up to this fraction (0..1) using
+	// a deterministic source seeded with Seed, so retry storms decorrelate
+	// but tests replay exactly.
+	Jitter float64
+	Seed   int64
+	// Sleep and Dialer are injection points for tests and fault
+	// harnesses; nil selects time.Sleep and a plain TCP dial.
+	Sleep  func(time.Duration)
+	Dialer func(addr string) (net.Conn, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 10 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// ClientStats counts the client's recovery actions.
+type ClientStats struct {
+	Calls   uint64 // completed Call invocations
+	Retries uint64 // extra attempts after a failure
+	Redials uint64 // reconnects (including the lazy redial after a break)
+	Broken  uint64 // connections abandoned mid-frame
+}
+
 // Client is a synchronous request/response client over one TCP connection.
 // Safe for concurrent use; calls serialize.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	conn   net.Conn
+	addr   string
+	closed bool
+	opts   Options
+	rng    *rand.Rand
+	stats  ClientStats
 }
 
-// Dial connects a client.
+// Dial connects a client with default options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects a client with explicit robustness options. The
+// initial dial must succeed; later breaks redial transparently.
+func DialOptions(addr string, o Options) (*Client, error) {
+	o = o.withDefaults()
+	c := &Client{addr: addr, opts: o, rng: rand.New(rand.NewSource(o.Seed))}
+	conn, err := c.dial()
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	c.conn = conn
+	return c, nil
 }
 
-// Call sends one frame and waits for the reply. A TypeError reply is
-// surfaced as an error.
-func (c *Client) Call(msgType byte, payload []byte) (byte, []byte, error) {
+func (c *Client) dial() (net.Conn, error) {
+	if c.opts.Dialer != nil {
+		return c.opts.Dialer(c.addr)
+	}
+	return net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+}
+
+// Stats returns a snapshot of the client's recovery counters.
+func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.stats
+}
+
+// breakConn abandons a connection whose framing state is undefined (a
+// partial write or read happened). The next attempt redials.
+func (c *Client) breakConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.stats.Broken++
+	}
+}
+
+// backoff computes the jittered exponential delay before retry attempt
+// `attempt` (1-based), honouring a server retry-after hint as a floor.
+func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
+	d := c.opts.RetryBackoff << (attempt - 1)
+	if d > c.opts.MaxBackoff || d <= 0 {
+		d = c.opts.MaxBackoff
+	}
+	if j := c.opts.Jitter; j > 0 {
+		d = time.Duration(float64(d) * (1 - j/2 + j*c.rng.Float64()))
+	}
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// callOnce performs one framed exchange on the current connection,
+// redialling first if the previous attempt broke it. transport=true means
+// the connection state is undefined and the frame may not have been
+// served.
+func (c *Client) callOnce(msgType byte, payload []byte) (byte, []byte, error, bool) {
 	if c.conn == nil {
-		return 0, nil, ErrClosed
+		conn, err := c.dial()
+		if err != nil {
+			return 0, nil, err, true
+		}
+		c.conn = conn
+		c.stats.Redials++
+	}
+	if c.opts.CallTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout))
 	}
 	if err := WriteFrame(c.conn, msgType, payload); err != nil {
-		return 0, nil, err
+		return 0, nil, err, true
 	}
 	replyType, reply, err := ReadFrame(c.conn)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, err, true
 	}
-	if replyType == TypeError {
-		return replyType, nil, fmt.Errorf("wire: remote error: %s", reply)
+	switch replyType {
+	case TypeError:
+		return replyType, nil, fmt.Errorf("wire: remote error: %s", reply), false
+	case TypeRetryAfter:
+		return replyType, nil, &RetryAfterError{After: decodeRetryAfter(reply)}, false
 	}
-	return replyType, reply, nil
+	return replyType, reply, nil, false
 }
 
-// Close closes the underlying connection.
+// Call sends one frame and waits for the reply. A TypeError reply is
+// surfaced as an error; a TypeRetryAfter reply as *RetryAfterError. With
+// MaxRetries > 0, transport failures and retry-after replies are retried
+// with jittered exponential backoff, redialling broken connections; an
+// attempt that fails mid-frame always abandons the connection so a later
+// Call can never read a stale or misaligned reply.
+func (c *Client) Call(msgType byte, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, ErrClosed
+	}
+	c.stats.Calls++
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.stats.Retries++
+		}
+		replyType, reply, err, transport := c.callOnce(msgType, payload)
+		if err == nil {
+			return replyType, reply, nil
+		}
+		var ra *RetryAfterError
+		switch {
+		case transport:
+			// Mid-frame failure: the stream is desynced, never reuse it.
+			c.breakConn()
+			lastErr = err
+		case errors.As(err, &ra):
+			// Typed shed signal: connection healthy, retry after the hint.
+			lastErr = err
+		default:
+			// Remote application error: the exchange completed; framing is
+			// intact and retrying would re-run a failed request.
+			return replyType, reply, err
+		}
+		if attempt >= c.opts.MaxRetries {
+			return 0, nil, lastErr
+		}
+		floor := time.Duration(0)
+		if ra != nil {
+			floor = ra.After
+		}
+		c.opts.Sleep(c.backoff(attempt+1, floor))
+	}
+}
+
+// Close closes the underlying connection. Subsequent Calls return
+// ErrClosed (Close is the only way a client becomes permanently unusable;
+// transport failures merely redial).
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}
