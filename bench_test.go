@@ -18,7 +18,7 @@ import (
 	"cellbricks/internal/pki"
 	"cellbricks/internal/qos"
 	"cellbricks/internal/testbed"
-	"cellbricks/internal/trace"
+	"cellbricks/internal/mobility"
 )
 
 // BenchmarkFig7AttachLatency regenerates Fig. 7: per-module attachment
@@ -92,7 +92,7 @@ func BenchmarkAblationMPTCPWait(b *testing.B) {
 		var lines string
 		for _, wait := range []time.Duration{time.Nanosecond, 100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond} {
 			sc := testbed.Scenario{
-				Route: trace.Downtown, Night: true, Arch: testbed.ArchCellBricks,
+				Route: mobility.Downtown, Night: true, Arch: testbed.ArchCellBricks,
 				MPTCPWait: wait, Seed: 5, Duration: 4 * time.Minute,
 			}
 			res := testbed.RunIperf(sc)
@@ -112,7 +112,7 @@ func BenchmarkAblationAttachLatency(b *testing.B) {
 		var lines string
 		for _, d := range []time.Duration{32 * time.Millisecond, 128 * time.Millisecond, 512 * time.Millisecond, 2 * time.Second} {
 			sc := testbed.Scenario{
-				Route: trace.Highway, Night: true, Arch: testbed.ArchCellBricks,
+				Route: mobility.Highway, Night: true, Arch: testbed.ArchCellBricks,
 				AttachLatency: d, MPTCPWait: time.Nanosecond, Seed: 5, Duration: 4 * time.Minute,
 			}
 			res := testbed.RunIperf(sc)
@@ -223,7 +223,7 @@ func BenchmarkUserPlane(b *testing.B) {
 // handover-dense highway route.
 func BenchmarkAblationSoftHandover(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		base := testbed.Scenario{Route: trace.Highway, Night: true, Arch: testbed.ArchCellBricks, Seed: 13, Duration: 4 * time.Minute}
+		base := testbed.Scenario{Route: mobility.Highway, Night: true, Arch: testbed.ArchCellBricks, Seed: 13, Duration: 4 * time.Minute}
 		hard := testbed.RunIperf(base)
 		soft := base
 		soft.SoftHandover = true
@@ -312,7 +312,7 @@ func BenchmarkAblationBillingEpsilon(b *testing.B) {
 // reports, Fig. 5 checks, and per-bTelco settlement.
 func BenchmarkBilledDrive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sc := testbed.Scenario{Route: trace.Downtown, Night: true, Arch: testbed.ArchCellBricks, Seed: 31, Duration: 5 * time.Minute}
+		sc := testbed.Scenario{Route: mobility.Downtown, Night: true, Arch: testbed.ArchCellBricks, Seed: 31, Duration: 5 * time.Minute}
 		res, err := testbed.RunBilledDrive(sc, 30*time.Second)
 		if err != nil {
 			b.Fatal(err)

@@ -25,15 +25,17 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"cellbricks/internal/chaos"
+	"cellbricks/internal/mobility"
+	"cellbricks/internal/obs"
 	"cellbricks/internal/testbed"
-	"cellbricks/internal/trace"
 )
 
 // testbedDowntown avoids importing trace at every call site.
-func testbedDowntown() trace.Route { return trace.Downtown }
+func testbedDowntown() mobility.Route { return mobility.Downtown }
 
 // expRecord is one experiment's entry in the bench-trajectory file.
 type expRecord struct {
@@ -43,6 +45,9 @@ type expRecord struct {
 	AllocBytes   uint64             `json:"alloc_bytes"`
 	OutputSHA256 string             `json:"output_sha256"`
 	Metrics      map[string]float64 `json:"metrics,omitempty"`
+	// Telemetry is the experiment's delta of the process-wide obs registry
+	// (counters moved, gauges as of the end of the run).
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
 }
 
 // benchRun is one cbbench invocation: its configuration plus every
@@ -79,6 +84,25 @@ func appendBenchRun(path string, run benchRun) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// writeTrace renders the recorded trace: Chrome trace-event JSON (open in
+// Perfetto or chrome://tracing) by default, JSON lines when the path ends
+// in .jsonl.
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig7|table1|fig8|fig9|fig10|transports|scale|billing|failover|all")
 	seed := flag.Int64("seed", 1, "deterministic seed")
@@ -92,7 +116,15 @@ func main() {
 	jsonOut := flag.Bool("json", false, "append wall time/allocs/metrics to the bench-trajectory file")
 	jsonPath := flag.String("json-file", "", "bench-trajectory file (default BENCH_<date>.json)")
 	label := flag.String("label", "", "label for this run in the bench-trajectory file")
+	traceOut := flag.String("trace-out", "", "write the failover protocol trace to this file (Chrome trace-event JSON; .jsonl suffix for JSON lines)")
+	verbose := flag.Bool("v", false, "enable debug-level logging")
 	flag.Parse()
+	obs.Verbose(*verbose)
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(nil) // rebound to the faulted run's sim clock
+	}
 
 	runner := testbed.Runner{Workers: *workers, Sequential: *seq}
 	rec := benchRun{
@@ -111,6 +143,7 @@ func main() {
 		fmt.Printf("==== %s ====\n", title)
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
+		telemBefore := obs.Default().Snapshot()
 		t0 := time.Now()
 		out, metrics, err := f()
 		wall := time.Since(t0)
@@ -130,6 +163,7 @@ func main() {
 			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
 			OutputSHA256: hex.EncodeToString(sum[:]),
 			Metrics:      metrics,
+			Telemetry:    obs.Delta(telemBefore, obs.Default().Snapshot()),
 		})
 	}
 
@@ -237,7 +271,7 @@ func main() {
 				return "", nil, err
 			}
 			res, err := testbed.RunFailover(testbed.FailoverConfig{
-				Seed: *seed, Duration: *dur, Spec: spec,
+				Seed: *seed, Duration: *dur, Spec: spec, Tracer: tracer,
 			})
 			if err != nil {
 				return "", nil, err
@@ -284,6 +318,14 @@ func main() {
 	if !matched {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q: want fig7|table1|fig8|fig9|fig10|transports|scale|billing|failover|all\n", *exp)
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		if err := writeTrace(tracer, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace file: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", tracer.Len(), *traceOut)
 	}
 
 	if *jsonOut {

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCbbench compiles the command once into a temp dir.
+func buildCbbench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cbbench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestFailoverOutputUnchangedByTracing is the CLI acceptance test for the
+// telemetry-determinism contract: `-exp failover` renders byte-identically
+// whether or not a trace is being recorded.
+func TestFailoverOutputUnchangedByTracing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildCbbench(t)
+	args := []string{"-exp", "failover", "-seed", "7", "-dur", "75s"}
+
+	plain, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		t.Fatalf("untraced run: %v", err)
+	}
+
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	traced, err := exec.Command(bin, append(args, "-trace-out", tracePath)...).Output()
+	if err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+
+	// The traced run appends one "wrote N trace events" status line; the
+	// experiment output above it must match byte for byte.
+	tracedStr := string(traced)
+	if i := strings.Index(tracedStr, "wrote "); i >= 0 {
+		tracedStr = tracedStr[:i]
+	}
+	if string(plain) != tracedStr {
+		t.Fatalf("tracing changed the experiment output:\n--- untraced ---\n%s--- traced ---\n%s", plain, tracedStr)
+	}
+
+	// And the trace itself is a valid, non-empty Chrome trace-event array.
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+}

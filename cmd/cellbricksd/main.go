@@ -18,6 +18,10 @@
 //	    Runs all three in-process on loopback, attaches a UE, passes one
 //	    billing cycle, and prints everything — the zero-config smoke test.
 //
+// Observability: -debug-addr serves Prometheus text metrics (/metrics),
+// expvar (/debug/vars), and pprof (/debug/pprof/) for whatever role is
+// running; -v raises logging to debug level (wire retries, redials).
+//
 // The demo CA/keys make the roles interoperable without a key-exchange
 // step; a production deployment would provision real keys (see DESIGN.md).
 package main
@@ -26,13 +30,13 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"time"
 
 	"cellbricks/internal/broker"
 	"cellbricks/internal/epc"
+	"cellbricks/internal/obs"
 	"cellbricks/internal/pki"
 	"cellbricks/internal/qos"
 	"cellbricks/internal/sap"
@@ -41,12 +45,20 @@ import (
 	"cellbricks/internal/wire"
 )
 
+const logSub = "cellbricksd"
+
+// fatalf logs at error level and exits.
+func fatalf(format string, args ...any) {
+	obs.Errorf(logSub, format, args...)
+	os.Exit(1)
+}
+
 // Deterministic demo credentials shared by the roles so a multi-process
 // testbed needs no key distribution.
 func demoCA() *pki.CA {
 	ca, err := pki.NewCAFromSeed("demo-ca", bytes.Repeat([]byte{81}, 32))
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	return ca
 }
@@ -54,7 +66,7 @@ func demoCA() *pki.CA {
 func demoBrokerKey() *pki.KeyPair {
 	k, err := pki.KeyPairFromSeed(bytes.Repeat([]byte{82}, 32))
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	return k
 }
@@ -62,7 +74,7 @@ func demoBrokerKey() *pki.KeyPair {
 func demoUEKey() *pki.KeyPair {
 	k, err := pki.KeyPairFromSeed(bytes.Repeat([]byte{83}, 32))
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	return k
 }
@@ -75,7 +87,21 @@ func main() {
 	brokerAddr := flag.String("broker-addr", "127.0.0.1:7700", "brokerd address (btelco role)")
 	btelcoAddr := flag.String("btelco-addr", "127.0.0.1:7800", "bTelco NAS address (ue role)")
 	telcoID := flag.String("telco-id", "btelco-demo", "bTelco identity (btelco, ue roles)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9090, :0 for ephemeral)")
+	verbose := flag.Bool("v", false, "enable debug-level logging (wire retries, redials)")
 	flag.Parse()
+	obs.Verbose(*verbose)
+
+	debugging := false
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fatalf("debug server: %v", err)
+		}
+		defer dbg.Close()
+		debugging = true
+		obs.Infof(logSub, "debug endpoints at http://%s/ (metrics, vars, pprof)", dbg.Addr())
+	}
 
 	switch *role {
 	case "broker":
@@ -85,7 +111,7 @@ func main() {
 	case "ue":
 		runUE(*btelcoAddr, *telcoID)
 	case "demo":
-		runDemo()
+		runDemo(debugging)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
 		os.Exit(2)
@@ -103,10 +129,10 @@ func runBroker(listen string) {
 	b := newDemoBroker()
 	srv, err := broker.Serve(b, listen)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	defer srv.Close()
-	log.Printf("brokerd %s listening on %s", b.ID(), srv.Addr())
+	obs.Infof(logSub, "brokerd %s listening on %s", b.ID(), srv.Addr())
 	waitForInterrupt()
 }
 
@@ -114,7 +140,7 @@ func runBTelco(listen, brokerAddr, telcoID string) {
 	ca := demoCA()
 	key, err := pki.GenerateKeyPair()
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	cert := ca.Issue(telcoID, "btelco", key.Public(), time.Now().Add(-time.Minute), time.Now().Add(365*24*time.Hour))
 	telco := &sap.TelcoState{
@@ -127,10 +153,10 @@ func runBTelco(listen, brokerAddr, telcoID string) {
 	})
 	srv, err := epc.ServeNAS(agw, listen)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	defer srv.Close()
-	log.Printf("bTelco %s: NAS on %s, broker at %s", telcoID, srv.Addr(), brokerAddr)
+	obs.Infof(logSub, "bTelco %s: NAS on %s, broker at %s", telcoID, srv.Addr(), brokerAddr)
 	waitForInterrupt()
 }
 
@@ -160,7 +186,7 @@ func runUE(btelcoAddr, telcoID string) {
 	dev := ue.NewDevice("demo-ue", nil, sim)
 	client, err := wire.Dial(btelcoAddr)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	defer client.Close()
 	tx := func(envelope []byte) ([]byte, error) {
@@ -169,34 +195,34 @@ func runUE(btelcoAddr, telcoID string) {
 	}
 	a, err := dev.AttachSAP(tx, telcoID)
 	if err != nil {
-		log.Fatalf("attach: %v", err)
+		fatalf("attach: %v", err)
 	}
-	log.Printf("attached: session=%d ip=%s bearer=%d qci=%d dl=%d ul=%d",
+	obs.Infof(logSub, "attached: session=%d ip=%s bearer=%d qci=%d dl=%d ul=%d",
 		a.SessionID, a.IP, a.BearerID, a.QCI, a.DLAmbrBps, a.ULAmbrBps)
 	if err := dev.Detach(tx); err != nil {
-		log.Fatalf("detach: %v", err)
+		fatalf("detach: %v", err)
 	}
-	log.Printf("detached cleanly")
+	obs.Infof(logSub, "detached cleanly")
 }
 
-func runDemo() {
+func runDemo(stayUp bool) {
 	d, err := testbed.NewRealDeployment()
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	defer d.Close()
-	log.Printf("demo: brokerd=%s sdb=%s agw-nas=%s",
+	obs.Infof(logSub, "demo: brokerd=%s sdb=%s agw-nas=%s",
 		d.BrokerSrv.Addr(), d.SDBSrv.Addr(), d.NASSrv.Addr())
 
 	dev, tx, err := d.NewCellBricksUE()
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	a, err := dev.AttachSAP(tx, d.TelcoID())
 	if err != nil {
-		log.Fatalf("SAP attach: %v", err)
+		fatalf("SAP attach: %v", err)
 	}
-	log.Printf("SAP attach ok: session=%d ip=%s", a.SessionID, a.IP)
+	obs.Infof(logSub, "SAP attach ok: session=%d ip=%s", a.SessionID, a.IP)
 
 	// Pass some traffic and settle one billing cycle.
 	bearer := d.AGW.UserPlane().Lookup(a.IP)
@@ -206,38 +232,45 @@ func runDemo() {
 		}
 	}
 	if err := d.UploadTelcoReport(a.SessionID, 30*time.Second); err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	if err := d.UploadUEReport(dev, 30*time.Second); err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
-	log.Printf("billing cycle ok: telco score %.2f, %d mismatches",
+	obs.Infof(logSub, "billing cycle ok: telco score %.2f, %d mismatches",
 		d.Broker.TelcoScore(d.TelcoID()), len(d.Broker.Mismatches()))
 
 	if err := dev.Detach(tx); err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
-	log.Printf("detach ok")
+	obs.Infof(logSub, "detach ok")
 
 	// And a legacy UE on the same core.
 	ldev, ltx, err := d.NewLegacyUE("001015550001234")
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	la, err := ldev.AttachLegacy(ltx)
 	if err != nil {
-		log.Fatalf("legacy attach: %v", err)
+		fatalf("legacy attach: %v", err)
 	}
-	log.Printf("legacy attach ok: session=%d ip=%s", la.SessionID, la.IP)
+	obs.Infof(logSub, "legacy attach ok: session=%d ip=%s", la.SessionID, la.IP)
 	if err := ldev.Detach(ltx); err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
-	log.Printf("demo complete")
+	obs.Infof(logSub, "demo complete")
+
+	// With a debug server running, keep the demo's populated metrics
+	// scrapeable until interrupted.
+	if stayUp {
+		obs.Infof(logSub, "debug endpoints still serving; ctrl-C to exit")
+		waitForInterrupt()
+	}
 }
 
 func waitForInterrupt() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
-	log.Printf("shutting down")
+	obs.Infof(logSub, "shutting down")
 }

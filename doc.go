@@ -17,7 +17,7 @@
 //     brokerd, and the UE host stack.
 //   - internal/billing — verifiable usage accounting and the reputation
 //     system.
-//   - internal/mptcp, internal/netem, internal/trace, internal/ran — the
+//   - internal/mptcp, internal/netem, internal/mobility, internal/ran — the
 //     host transport and the emulation substrate behind the paper's
 //     evaluation.
 //   - internal/testbed — the experiment harness regenerating every table

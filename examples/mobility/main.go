@@ -24,7 +24,7 @@ import (
 	"cellbricks/internal/mptcp"
 	"cellbricks/internal/netem"
 	"cellbricks/internal/ran"
-	"cellbricks/internal/trace"
+	"cellbricks/internal/mobility"
 )
 
 func main() {
@@ -98,22 +98,22 @@ func main() {
 	// Data plane: the same drive as a netem emulation with an MPTCP
 	// download surviving each IP change.
 	sim := netem.NewSim(42)
-	op := trace.NewOperator(43)
-	link := op.CellularLink(trace.Suburb, true)
+	op := mobility.NewOperator(43)
+	link := op.CellularLink(mobility.Suburb, true)
 	sim.Connect("server", "ue-0", link)
 	conn := mptcp.NewConn(sim, "server", "ue-0", mptcp.DefaultConfig())
 	subflows := 0
 	conn.OnSubflow = func(uint32) { subflows++ }
 
 	idx := 0
-	for _, at := range trace.Suburb.Handovers(sim.Rand(), true, 6*time.Minute) {
+	for _, at := range mobility.Suburb.Handovers(sim.Rand(), true, 6*time.Minute) {
 		at := at
 		sim.At(at, func() {
 			conn.AddrInvalidated()
 			sim.Disconnect("server", fmt.Sprintf("ue-%d", idx))
 			idx++
 			newIP := fmt.Sprintf("ue-%d", idx)
-			sim.Connect("server", newIP, op.CellularLink(trace.Suburb, true))
+			sim.Connect("server", newIP, op.CellularLink(mobility.Suburb, true))
 			sim.After(32*time.Millisecond, func() { conn.AddrAvailable(newIP) })
 		})
 	}

@@ -37,6 +37,66 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileInterpolates pins the linear-interpolation fix: when p
+// falls between two ranks, the result is the weighted blend of the
+// neighbours, not the lower sample (the old truncating-index behaviour).
+func TestPercentileInterpolates(t *testing.T) {
+	two := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if got := Percentile(two, 50); got != 15*time.Millisecond {
+		t.Fatalf("p50 of {10ms, 20ms} = %v, want 15ms", got)
+	}
+	if got := Percentile(two, 25); got != 12500*time.Microsecond {
+		t.Fatalf("p25 of {10ms, 20ms} = %v, want 12.5ms", got)
+	}
+	four := []time.Duration{1, 2, 3, 4}
+	if got := Percentile(four, 50); got != 2 {
+		// rank = 1.5 between samples 2 and 3 → 2.5ns, truncated to 2ns by
+		// integer Duration; the point is it is no longer simply s[1].
+		t.Fatalf("p50 of {1,2,3,4}ns = %v", got)
+	}
+	if got := Percentile(four, 90); got != 3 {
+		// rank 2.7 blends 3 and 4 into 3.7ns, truncated to 3ns.
+		t.Fatalf("p90 of {1,2,3,4}ns = %v", got)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	for _, p := range []float64{0, 37, 100} {
+		if got := Percentile(one, p); got != 7*time.Millisecond {
+			t.Fatalf("p%.0f of single sample = %v", p, got)
+		}
+	}
+}
+
+// TestMOSBoundaries pins the clamp behaviour at the E-model's edges.
+func TestMOSBoundaries(t *testing.T) {
+	// Zero-delay, zero-loss, zero-jitter: R is near its ceiling; MOS must
+	// be excellent but still within [1, 5].
+	perfect := MOS(0, 0, 0)
+	if perfect < 4.3 || perfect > 5 {
+		t.Fatalf("perfect call MOS = %.3f, want in [4.3, 5]", perfect)
+	}
+	// Catastrophic loss drives R below 0 — the r<0 branch must clamp the
+	// score to exactly 1, not go negative.
+	floor := MOS(2*time.Second, 1.0, time.Second)
+	if floor != 1 {
+		t.Fatalf("catastrophic call MOS = %.3f, want exactly 1", floor)
+	}
+	// Monotone around the floor: slightly-less-awful input cannot score
+	// below the clamp.
+	if m := MOS(1500*time.Millisecond, 0.9, 800*time.Millisecond); m < 1 {
+		t.Fatalf("MOS %v below floor", m)
+	}
+	// The score never exceeds 5 anywhere on a coarse input sweep.
+	for _, d := range []time.Duration{0, 10 * time.Millisecond, 100 * time.Millisecond, time.Second} {
+		for _, loss := range []float64{0, 0.01, 0.2, 1} {
+			for _, j := range []time.Duration{0, 5 * time.Millisecond, 200 * time.Millisecond} {
+				if m := MOS(d, loss, j); m < 1 || m > 5 {
+					t.Fatalf("MOS(%v, %v, %v) = %v out of [1,5]", d, loss, j, m)
+				}
+			}
+		}
+	}
+}
+
 func TestMOSShape(t *testing.T) {
 	good := MOS(20*time.Millisecond, 0, 2*time.Millisecond)
 	if good < 4.2 {

@@ -12,16 +12,22 @@ import (
 	"time"
 )
 
-// Percentile returns the p-th percentile (0..100) of samples; zero when
-// empty.
+// Percentile returns the p-th percentile (0..100) of samples, linearly
+// interpolating between the two nearest ranks when p falls between them
+// (so p50 of {10ms, 20ms} is 15ms, not 10ms); zero when empty.
 func Percentile(samples []time.Duration, p float64) time.Duration {
 	if len(samples) == 0 {
 		return 0
 	}
 	s := append([]time.Duration(nil), samples...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(p / 100 * float64(len(s)-1))
-	return s[idx]
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := rank - float64(lo)
+	return s[lo] + time.Duration(frac*float64(s[lo+1]-s[lo]))
 }
 
 // MOS computes the ITU-T G.107 E-model mean opinion score from one-way

@@ -180,13 +180,16 @@ func (b *Brokerd) HandleAuthRequest(req *sap.AuthReqT) (*sap.AuthResp, error) {
 	if hint := b.shedHint; hint > 0 {
 		b.shedCount++
 		b.mu.Unlock()
+		mtr.attachShed.Add(1)
 		return nil, &wire.RetryAfterError{After: hint}
 	}
 	b.mu.Unlock()
 	resp, rec, err := b.sap.HandleRequest(req)
 	if err != nil {
+		mtr.attachDenied.Add(1)
 		return nil, err
 	}
+	mtr.attachGranted.Add(1)
 	if rec != nil {
 		b.mu.Lock()
 		b.grants[rec.URef] = rec
@@ -249,7 +252,12 @@ func (b *Brokerd) HandleReport(env *billing.SealedReport) (*billing.Mismatch, er
 	if r.Reporter == billing.ReporterUE {
 		b.checkQoS(rec, r)
 	}
-	return b.verifier.Ingest(r)
+	mtr.reports.Add(1)
+	mm, err := b.verifier.Ingest(r)
+	if mm != nil {
+		mtr.mismatches.Add(1)
+	}
+	return mm, err
 }
 
 // qosViolationFactor is how far beyond the class target a UE-attested

@@ -1,0 +1,39 @@
+package broker
+
+import (
+	"cellbricks/internal/obs"
+)
+
+// Telemetry handles for brokerd. Attach authorization and report
+// ingestion run under the broker's own mutex, so direct atomic adds here
+// are negligible next to the Ed25519 work on the same path.
+var mtr struct {
+	attachGranted *obs.Counter
+	attachDenied  *obs.Counter
+	attachShed    *obs.Counter
+	reports       *obs.Counter
+	mismatches    *obs.Counter
+	snapshots     *obs.Counter
+	restores      *obs.Counter
+}
+
+func init() { SetMetricsEnabled(true) }
+
+// SetMetricsEnabled installs (true) or removes (false) the package's
+// handles in the default registry.
+func SetMetricsEnabled(on bool) {
+	if !on {
+		mtr.attachGranted, mtr.attachDenied, mtr.attachShed = nil, nil, nil
+		mtr.reports, mtr.mismatches = nil, nil
+		mtr.snapshots, mtr.restores = nil, nil
+		return
+	}
+	r := obs.Default()
+	mtr.attachGranted = r.Counter("broker_attach_granted_total", "SAP auth requests granted")
+	mtr.attachDenied = r.Counter("broker_attach_denied_total", "SAP auth requests denied by policy or crypto")
+	mtr.attachShed = r.Counter("broker_attach_shed_total", "SAP auth requests shed while degraded")
+	mtr.reports = r.Counter("broker_reports_ingested_total", "sealed billing reports accepted")
+	mtr.mismatches = r.Counter("broker_report_mismatches_total", "billing discrepancy incidents recorded")
+	mtr.snapshots = r.Counter("broker_snapshots_total", "durable-state snapshots taken")
+	mtr.restores = r.Counter("broker_restores_total", "snapshots restored into a broker")
+}

@@ -61,6 +61,7 @@ func (b *Brokerd) Snapshot() []byte {
 	for _, id := range suspects {
 		w.String(id)
 	}
+	mtr.snapshots.Add(1)
 	return w.Out()
 }
 
@@ -126,7 +127,11 @@ func (b *Brokerd) Restore(snap []byte) error {
 	for i := uint32(0); i < nSusp && r.Err() == nil; i++ {
 		b.verifier.RestoreSuspect(r.String())
 	}
-	return r.Done()
+	if err := r.Done(); err != nil {
+		return err
+	}
+	mtr.restores.Add(1)
+	return nil
 }
 
 // Restart is the crash-recovery constructor: it builds a fresh broker from

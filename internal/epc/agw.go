@@ -198,6 +198,7 @@ var (
 // ranID and returns the downlink reply. The envelope byte distinguishes
 // plain (0) from security-protected (1) transport.
 func (g *AGW) HandleNAS(ranID string, envelope []byte) ([]byte, error) {
+	mtr.nasMessages.Add(1)
 	if len(envelope) == 0 {
 		return nil, nas.ErrTooShort
 	}
@@ -263,6 +264,7 @@ func (g *AGW) reject(cause string) []byte {
 	g.mu.Lock()
 	g.attachFailures++
 	g.mu.Unlock()
+	mtr.attachFailures.Add(1)
 	return plain(&nas.AttachReject{Cause: cause})
 }
 
@@ -275,6 +277,7 @@ func (g *AGW) rejectErr(err error) []byte {
 		g.mu.Lock()
 		g.attachFailures++
 		g.mu.Unlock()
+		mtr.attachFailures.Add(1)
 		ms := ra.After.Milliseconds()
 		if ms < 1 {
 			ms = 1
@@ -451,6 +454,8 @@ func (g *AGW) activate(sess *Session, params qos.Params, respU *sap.AuthRespU) (
 	g.mu.Lock()
 	g.attaches++
 	g.mu.Unlock()
+	mtr.attaches.Add(1)
+	mtr.activeSessions.Add(1)
 	sess.IP = ip
 	sess.Bearer = g.up.CreateBearer(sess.ID, ip, params)
 	sess.state = stateActive
@@ -518,6 +523,9 @@ func (g *AGW) handleDetach(sess *Session, m *nas.DetachRequest) ([]byte, error) 
 func (g *AGW) dropSession(sess *Session) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if sess.state == stateActive {
+		mtr.activeSessions.Add(-1)
+	}
 	if sess.IP != "" {
 		if u, ok := g.up.TotalUsage(sess.IP); ok {
 			g.retiredUL += u.ULBytes

@@ -1,9 +1,9 @@
-// Package trace provides the mobility and operator-behaviour traces behind
+// Package mobility provides the mobility and operator-behaviour traces behind
 // the paper's emulation: the three drive routes (suburb, downtown,
 // highway) with day/night speeds calibrated to the measured mean time to
 // handover (MTTHO, Table 1), and the T-Mobile-like bimodal rate-limiting
 // schedule (Appendix A).
-package trace
+package mobility
 
 import (
 	"math/rand"

@@ -1,4 +1,4 @@
-package trace
+package mobility
 
 import (
 	"math/rand"

@@ -216,14 +216,17 @@ func (s *Sim) Send(pkt *Packet) bool {
 	}
 	if l.Down {
 		l.stats.DroppedDown++
+		mtr.dropDown.Add(1)
 		return false
 	}
 	if l.Loss > 0 && s.rng.Float64() < l.Loss {
 		l.stats.DroppedLoss++
+		mtr.dropLoss.Add(1)
 		return false
 	}
 	if l.Transit != nil && !l.Transit(pkt, s.now) {
 		l.stats.DroppedQueue++
+		mtr.dropQueue.Add(1)
 		return false
 	}
 
@@ -237,6 +240,7 @@ func (s *Sim) Send(pkt *Packet) bool {
 	shapeDelay, drop := shaper.admit(s.now, pkt.Size)
 	if drop {
 		l.stats.DroppedQueue++
+		mtr.dropQueue.Add(1)
 		return false
 	}
 
@@ -259,6 +263,7 @@ func (s *Sim) Send(pkt *Packet) bool {
 		}
 		if start-s.now > maxQueue {
 			l.stats.DroppedQueue++
+			mtr.dropQueue.Add(1)
 			return false // drop-tail: queue budget exceeded
 		}
 		*nextFree = start + txTime
@@ -289,6 +294,11 @@ func (s *Sim) Send(pkt *Packet) bool {
 	*lastArr = arrival
 	l.stats.Sent++
 	l.stats.SentBytes += uint64(pkt.Size)
+	s.mtrLocal.sent++
+	s.mtrLocal.sentBytes += uint64(pkt.Size)
+	if s.mtrLocal.tick++; s.mtrLocal.tick&(flushEvery-1) == 0 {
+		s.FlushMetrics()
+	}
 	if s.OnSend != nil {
 		s.OnSend(pkt, arrival)
 	}

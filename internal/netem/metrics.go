@@ -1,0 +1,80 @@
+package netem
+
+import (
+	"cellbricks/internal/obs"
+)
+
+// Package-wide telemetry handles. Every Sim in the process feeds the same
+// counters — the registry aggregates across the experiment runner's
+// concurrent simulations, exactly like a multi-core router's per-CPU
+// counters summing into one SNMP view. A Sim is single-goroutine, so the
+// hot path increments plain per-Sim integers (see simMetrics) and flushes
+// them into these shared atomics every flushEvery events and at the end of
+// each Run/RunUntil — the overhead benchmark in metrics_bench_test.go
+// holds the enabled-vs-disabled delta under 5%.
+//
+// Telemetry never touches a Sim's seeded RNG or its event queue, so
+// enabling it cannot perturb event ordering or experiment output — the
+// determinism golden tests run with it on.
+var mtr struct {
+	sent       *obs.Counter
+	sentBytes  *obs.Counter
+	delivered  *obs.Counter
+	dropLoss   *obs.Counter
+	dropQueue  *obs.Counter
+	dropDown   *obs.Counter
+	queueDepth *obs.Gauge
+}
+
+func init() { SetMetricsEnabled(true) }
+
+// SetMetricsEnabled installs (true) or removes (false) the package's
+// handles in the default registry. Call at process or test setup, not
+// while simulations are running.
+func SetMetricsEnabled(on bool) {
+	if !on {
+		mtr.sent, mtr.sentBytes, mtr.delivered = nil, nil, nil
+		mtr.dropLoss, mtr.dropQueue, mtr.dropDown = nil, nil, nil
+		mtr.queueDepth = nil
+		return
+	}
+	r := obs.Default()
+	mtr.sent = r.Counter("netem_packets_sent_total", "packets admitted onto an emulated link")
+	mtr.sentBytes = r.Counter("netem_bytes_sent_total", "bytes admitted onto an emulated link")
+	mtr.delivered = r.Counter("netem_packets_delivered_total", "packets handed to a registered receiver")
+	mtr.dropLoss = r.Counter("netem_drops_loss_total", "packets dropped by random loss")
+	mtr.dropQueue = r.Counter("netem_drops_queue_total", "packets dropped by a full queue, shaper, or transit hook")
+	mtr.dropDown = r.Counter("netem_drops_down_total", "packets dropped on a down link")
+	mtr.queueDepth = r.Gauge("netem_event_queue_depth", "scheduled events in the most recently flushed simulator")
+}
+
+// flushEvery is the hot-path batch size: per-Sim counts migrate into the
+// shared registry every 2^10 sends+deliveries (and at the end of every
+// Run/RunUntil), trading one atomic per packet for one per kilopacket.
+const flushEvery = 1 << 10
+
+// simMetrics is a Sim's local accumulation. Plain integers: a Sim is
+// single-goroutine by contract.
+type simMetrics struct {
+	tick      uint64 // sends+deliveries since the last flush trigger check
+	sent      uint64
+	sentBytes uint64
+	delivered uint64
+}
+
+// FlushMetrics publishes the Sim's locally accumulated counts into the
+// process-wide registry. Run and RunUntil call it on return; call it
+// directly before scraping mid-run.
+func (s *Sim) FlushMetrics() {
+	m := &s.mtrLocal
+	if m.sent > 0 {
+		mtr.sent.Add(m.sent)
+		mtr.sentBytes.Add(m.sentBytes)
+		m.sent, m.sentBytes = 0, 0
+	}
+	if m.delivered > 0 {
+		mtr.delivered.Add(m.delivered)
+		m.delivered = 0
+	}
+	mtr.queueDepth.Set(int64(len(s.events)))
+}

@@ -107,6 +107,9 @@ type Sim struct {
 	// never pooled: callers may hold them for Cancel long after firing.
 	free []*Event
 
+	// mtrLocal batches this Sim's telemetry; see metrics.go.
+	mtrLocal simMetrics
+
 	// OnSend, when set, observes every admitted packet with its scheduled
 	// arrival time (a pcap-style tap for debugging and tests).
 	OnSend func(pkt *Packet, arrival time.Duration)
@@ -199,6 +202,10 @@ func (s *Sim) Step() bool {
 			pkt, ref := e.pkt, e.dst
 			s.release(e) // recycle before the handler runs: pkt/ref are copied out
 			if ref.fn != nil {
+				s.mtrLocal.delivered++
+				if s.mtrLocal.tick++; s.mtrLocal.tick&(flushEvery-1) == 0 {
+					s.FlushMetrics()
+				}
 				if s.OnDeliver != nil {
 					s.OnDeliver(pkt, s.now)
 				}
@@ -216,6 +223,7 @@ func (s *Sim) Step() bool {
 func (s *Sim) Run() {
 	for s.Step() {
 	}
+	s.FlushMetrics()
 }
 
 // RunUntil processes events with timestamps <= t and then advances the
@@ -231,6 +239,7 @@ func (s *Sim) RunUntil(t time.Duration) {
 	if t > s.now {
 		s.now = t
 	}
+	s.FlushMetrics()
 }
 
 // peek returns the next live event without firing it, or nil when the

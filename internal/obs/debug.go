@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// DebugServer serves the live inspection endpoints for a running
+// CellBricks process:
+//
+//	/metrics       Prometheus text exposition of a Registry
+//	/debug/vars    expvar JSON (includes the registry snapshot)
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// It binds its own listener and mux — nothing is registered on
+// http.DefaultServeMux, so tests can run many servers side by side.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+var expvarOnce sync.Once
+
+// ServeDebug starts the debug endpoints on addr (":0" picks a free port;
+// query Addr for the binding). reg nil selects the Default registry.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	// Publish the registry into expvar once, so /debug/vars carries the
+	// same numbers as /metrics alongside the runtime's memstats/cmdline.
+	expvarOnce.Do(func() {
+		expvar.Publish("cellbricks_metrics", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "cellbricks debug endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *DebugServer) Close() error { return s.srv.Close() }

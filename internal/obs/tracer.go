@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one recorded trace record: an instant event (Dur == 0 and
+// Instant == true) or a complete span. Timestamps are durations on the
+// tracer's clock — virtual time when the clock is a simulator's, wall time
+// since tracer start otherwise — so a trace from a deterministic run is
+// itself deterministic.
+type TraceEvent struct {
+	Cat     string            `json:"cat"`
+	Name    string            `json:"name"`
+	Start   time.Duration     `json:"ts_ns"`
+	Dur     time.Duration     `json:"dur_ns,omitempty"`
+	Instant bool              `json:"instant,omitempty"`
+	Args    map[string]string `json:"args,omitempty"`
+}
+
+// Tracer records structured spans and events against an injected clock.
+// All methods are nil-safe no-ops, so call sites pass a tracer through
+// unconditionally and pay one branch when tracing is off. Recording takes
+// a mutex — tracing is for protocol events (attaches, faults, retries),
+// not per-packet hot paths.
+type Tracer struct {
+	mu     sync.Mutex
+	clock  func() time.Duration
+	events []TraceEvent
+}
+
+// NewTracer builds a tracer on the given clock — a simulator's Now for
+// deterministic virtual-time traces, or nil for wall time measured from
+// tracer creation.
+func NewTracer(clock func() time.Duration) *Tracer {
+	if clock == nil {
+		t0 := time.Now()
+		clock = func() time.Duration { return time.Since(t0) }
+	}
+	return &Tracer{clock: clock}
+}
+
+// SetClock rebinds the tracer to a new clock — used when the component
+// that owns the clock (e.g. a simulator) is constructed after the tracer.
+// A nil clock is ignored.
+func (t *Tracer) SetClock(clock func() time.Duration) {
+	if t == nil || clock == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+// Now returns the tracer's current clock reading (0 for nil).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Event records an instant event at the current clock reading.
+func (t *Tracer) Event(cat, name string, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.EventAt(t.clock(), cat, name, args)
+}
+
+// EventAt records an instant event at an explicit timestamp (used when the
+// caller knows the event's virtual time more precisely than "now").
+func (t *Tracer) EventAt(at time.Duration, cat, name string, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{Cat: cat, Name: name, Start: at, Instant: true, Args: args})
+	t.mu.Unlock()
+}
+
+// Span records a complete span [start, start+dur).
+func (t *Tracer) Span(cat, name string, start, dur time.Duration, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{Cat: cat, Name: name, Start: start, Dur: dur, Args: args})
+	t.mu.Unlock()
+}
+
+// Begin opens a span at the current clock reading and returns a closure
+// that records it on completion.
+func (t *Tracer) Begin(cat, name string, args map[string]string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := t.clock()
+	return func() { t.Span(cat, name, start, t.clock()-start, args) }
+}
+
+// Events returns a copy of everything recorded so far, in recording order.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Len reports how many records the tracer holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// chromeEvent is the Chrome trace-event (about://tracing, Perfetto) JSON
+// shape. Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the trace in Chrome trace-event JSON array
+// format, loadable in Perfetto or chrome://tracing. Categories map to
+// thread IDs so each subsystem gets its own row.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	events := t.Events()
+	tids := make(map[string]int)
+	tidOf := func(cat string) int {
+		if id, ok := tids[cat]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[cat] = id
+		return id
+	}
+	out := make([]chromeEvent, 0, len(events)+len(tids))
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			TS:   float64(e.Start) / float64(time.Microsecond),
+			PID:  1,
+			TID:  tidOf(e.Cat),
+			Args: e.Args,
+		}
+		if e.Instant {
+			ce.Ph, ce.S = "i", "t"
+		} else {
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / float64(time.Microsecond)
+		}
+		out = append(out, ce)
+	}
+	// Name the per-category rows so the viewer labels them. TIDs are
+	// assigned in first-appearance order, so emitting by ascending TID
+	// keeps the serialization deterministic (map iteration is not).
+	cats := make([]string, len(tids))
+	for cat, tid := range tids {
+		cats[tid-1] = cat
+	}
+	for i, cat := range cats {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: i + 1,
+			Args: map[string]string{"name": cat},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteJSONL renders the trace one TraceEvent JSON object per line — the
+// grep/jq-friendly form, and the one the trace-derivation tests consume.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]TraceEvent, error) {
+	var out []TraceEvent
+	dec := json.NewDecoder(r)
+	for {
+		var e TraceEvent
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("obs: bad trace line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+}

@@ -152,7 +152,7 @@ func (m *Mobile) Advance(now, dt time.Duration) *HandoverEvent {
 
 // DriveHandovers runs the terminal for dur at a tick granularity and
 // collects all handover events — the geometric counterpart to
-// trace.Route.Handovers.
+// mobility.Route.Handovers.
 func (m *Mobile) DriveHandovers(dur, tick time.Duration) []HandoverEvent {
 	var out []HandoverEvent
 	for t := time.Duration(0); t < dur; t += tick {

@@ -8,6 +8,7 @@ import (
 	"cellbricks/internal/aka"
 	"cellbricks/internal/broker"
 	"cellbricks/internal/epc"
+	"cellbricks/internal/obs"
 	"cellbricks/internal/pki"
 	"cellbricks/internal/qos"
 	"cellbricks/internal/sap"
@@ -262,10 +263,19 @@ func (w *attachWorld) RunAttach(arch Arch, iteration int) (AttachSample, error) 
 
 // RunAttachBench measures n attachments for one Fig. 7 cell.
 func RunAttachBench(arch Arch, place Placement, n int) (AttachBenchResult, error) {
+	return RunAttachBenchTrace(arch, place, n, nil)
+}
+
+// RunAttachBenchTrace is RunAttachBench with a tracer attached to the
+// cell's virtual clock: every per-module Charge lands as a span on the
+// attach timeline, viewable in Perfetto via cbbench -trace-out.
+func RunAttachBenchTrace(arch Arch, place Placement, n int, tr *obs.Tracer) (AttachBenchResult, error) {
 	w, err := newAttachWorld(place)
 	if err != nil {
 		return AttachBenchResult{}, err
 	}
+	w.clock.Trace(tr)
+	tr.SetClock(w.clock.Now)
 	var total time.Duration
 	sums := make(map[string]time.Duration)
 	for i := 0; i < n; i++ {

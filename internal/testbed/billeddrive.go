@@ -12,7 +12,7 @@ import (
 	"cellbricks/internal/pki"
 	"cellbricks/internal/qos"
 	"cellbricks/internal/sap"
-	"cellbricks/internal/trace"
+	"cellbricks/internal/mobility"
 	"cellbricks/internal/ue"
 )
 
@@ -95,7 +95,7 @@ func RunBilledDrive(sc Scenario, cycle time.Duration) (BilledDriveResult, error)
 
 	// Emulated data plane.
 	sim := netem.NewSim(sc.Seed)
-	op := trace.NewOperator(sc.Seed + 1)
+	op := mobility.NewOperator(sc.Seed + 1)
 	ueIP := "bd-ue-0"
 	sim.Connect(ServerIP, ueIP, op.CellularLink(sc.Route, sc.Night))
 	conn := mptcp.NewConn(sim, ServerIP, ueIP, mptcp.Config{

@@ -7,6 +7,8 @@ package testbed
 import (
 	"sync"
 	"time"
+
+	"cellbricks/internal/obs"
 )
 
 // VirtualClock accumulates simulated latency for the prototype benchmark:
@@ -15,9 +17,10 @@ import (
 // work this implementation performs, so CellBricks' extra crypto shows up
 // honestly in the breakdown.
 type VirtualClock struct {
-	mu    sync.Mutex
-	now   time.Duration
-	spans map[string]time.Duration
+	mu     sync.Mutex
+	now    time.Duration
+	spans  map[string]time.Duration
+	tracer *obs.Tracer
 }
 
 // NewVirtualClock returns an empty clock.
@@ -38,12 +41,23 @@ func (c *VirtualClock) Now() time.Duration {
 	return c.now
 }
 
+// Trace attaches a tracer: every Charge is recorded as a span on the
+// clock's virtual timeline, turning the Fig. 7 breakdown into a viewable
+// attach-phase trace.
+func (c *VirtualClock) Trace(t *obs.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+}
+
 // Charge adds d to the clock under a module label.
 func (c *VirtualClock) Charge(module string, d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := c.now
 	c.now += d
 	c.spans[module] += d
+	c.tracer.Span("attach", module, start, d, nil)
 }
 
 // Exec runs f, charging its real wall-clock duration plus a static cost to

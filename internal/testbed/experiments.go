@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"cellbricks/internal/apps"
-	"cellbricks/internal/trace"
+	"cellbricks/internal/mobility"
 )
 
 // Table1Cell is one route x time-of-day comparison.
@@ -46,7 +46,7 @@ const table1Jobs = 11
 // runTable1Job regenerates measurement j of one cell, writing only the
 // field(s) that job owns. Each job builds its own simulation from the
 // scenario seed, so jobs can run in any order or concurrently.
-func runTable1Job(j int, route trace.Route, night bool, cfg Table1Config, cell *Table1Cell) {
+func runTable1Job(j int, route mobility.Route, night bool, cfg Table1Config, cell *Table1Cell) {
 	mk := func(arch Arch) Scenario {
 		return Scenario{
 			Route: route, Night: night, Arch: arch,
@@ -87,7 +87,7 @@ func runTable1Job(j int, route trace.Route, night bool, cfg Table1Config, cell *
 
 // RunTable1Cell runs all four applications under both architectures for
 // one route and time of day.
-func RunTable1Cell(route trace.Route, night bool, cfg Table1Config) Table1Cell {
+func RunTable1Cell(route mobility.Route, night bool, cfg Table1Config) Table1Cell {
 	if cfg.Duration == 0 {
 		cfg.Duration = 10 * time.Minute
 	}
@@ -112,11 +112,11 @@ func RunTable1(cfg Table1Config) Table1Result {
 		cfg.Duration = 10 * time.Minute
 	}
 	type cellKey struct {
-		route trace.Route
+		route mobility.Route
 		night bool
 	}
 	var keys []cellKey
-	for _, route := range trace.Routes() {
+	for _, route := range mobility.Routes() {
 		for _, night := range []bool{false, true} {
 			keys = append(keys, cellKey{route, night})
 		}
@@ -201,7 +201,7 @@ func RunFig8(seed int64, dur time.Duration) Fig8Result {
 	if dur == 0 {
 		dur = 50 * time.Second
 	}
-	sc := Scenario{Route: trace.Downtown, Night: false, Seed: seed, Duration: dur}
+	sc := Scenario{Route: mobility.Downtown, Night: false, Seed: seed, Duration: dur}
 	cb := sc
 	cb.Arch = ArchCellBricks
 	cbWorld := NewWorld(cb)
@@ -297,7 +297,7 @@ func runFig9(seed int64, trials int, dur time.Duration, r Runner) Fig9Result {
 		c := cfgs[u/trials]
 		trial := u % trials
 		s := seed + int64(trial)*101
-		base := Scenario{Route: trace.Downtown, Night: true, Seed: s, Duration: dur}
+		base := Scenario{Route: mobility.Downtown, Night: true, Seed: s, Duration: dur}
 		cb := base
 		cb.Arch = ArchCellBricks
 		cb.AttachLatency = c.d
@@ -429,7 +429,7 @@ func RunFig10(seed int64, dur time.Duration) Fig10Result {
 	if dur == 0 {
 		dur = 500 * time.Second
 	}
-	day := Scenario{Route: trace.Downtown, Night: false, Arch: ArchCellBricks, Seed: seed, Duration: dur}
+	day := Scenario{Route: mobility.Downtown, Night: false, Arch: ArchCellBricks, Seed: seed, Duration: dur}
 	night := day
 	night.Night = true
 	return Fig10Result{

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -11,12 +12,13 @@ import (
 	"cellbricks/internal/broker"
 	"cellbricks/internal/chaos"
 	"cellbricks/internal/epc"
+	"cellbricks/internal/mobility"
 	"cellbricks/internal/mptcp"
 	"cellbricks/internal/netem"
+	"cellbricks/internal/obs"
 	"cellbricks/internal/pki"
 	"cellbricks/internal/qos"
 	"cellbricks/internal/sap"
-	"cellbricks/internal/trace"
 	"cellbricks/internal/ue"
 )
 
@@ -34,7 +36,7 @@ import (
 type FailoverConfig struct {
 	Seed     int64
 	Duration time.Duration
-	Route    trace.Route
+	Route    mobility.Route
 	Night    bool
 	// Spec is the fault specification; Compile(Seed, Duration) fixes the
 	// schedule.
@@ -54,6 +56,12 @@ type FailoverConfig struct {
 	ShedFor time.Duration
 	// Bin is the goodput sampling interval (default 1 s).
 	Bin time.Duration
+	// Tracer, when set, records the faulted run's protocol events (fault
+	// injections, recoveries, handovers, attach storms, broker lifecycle)
+	// against the simulator clock. Recording never touches the seeded rng
+	// or the event queue, so traced and untraced runs render identically —
+	// TestFailoverTraceDoesNotPerturb asserts it.
+	Tracer *obs.Tracer
 }
 
 // Defaults fills zero fields.
@@ -62,7 +70,7 @@ func (c FailoverConfig) Defaults() FailoverConfig {
 		c.Duration = 2 * time.Minute
 	}
 	if c.Route.Name == "" {
-		c.Route = trace.Downtown
+		c.Route = mobility.Downtown
 	}
 	if c.Retry.MaxAttempts == 0 {
 		c.Retry.MaxAttempts = 12
@@ -127,6 +135,7 @@ type FailoverResult struct {
 // recovery watcher: a fault waiting for its recovery signal.
 type foWatcher struct {
 	outcome *FaultOutcome
+	idx     int // fault index in the schedule, keying trace events
 	// ready is the earliest instant the signal counts: fault end for
 	// data-plane faults, fault onset for attach-path faults.
 	ready    time.Duration
@@ -138,7 +147,7 @@ type foWatcher struct {
 type foWorld struct {
 	cfg FailoverConfig
 	sim *netem.Sim
-	op  *trace.Operator
+	op  *mobility.Operator
 
 	conn      *mptcp.Conn
 	link      *netem.Link
@@ -174,11 +183,13 @@ func newFoWorld(cfg FailoverConfig, res *FailoverResult) (*foWorld, error) {
 	w := &foWorld{
 		cfg:  cfg,
 		sim:  netem.NewSim(cfg.Seed),
-		op:   trace.NewOperator(cfg.Seed + 1),
+		op:   mobility.NewOperator(cfg.Seed + 1),
 		ueIP: "ft-ip-0",
 		live: true,
 		res:  res,
 	}
+	// Trace timestamps are virtual time on this run's simulator clock.
+	cfg.Tracer.SetClock(w.sim.Now)
 
 	// Control plane: seeded principals and a fixed certificate epoch so
 	// two runs with the same seed are bit-identical regardless of wall
@@ -270,6 +281,7 @@ func (w *foWorld) snapshot() {
 	if w.live && w.brk != nil {
 		w.lastSnap = w.brk.Snapshot()
 		w.res.Snapshots++
+		w.cfg.Tracer.Event("broker", "snapshot", nil)
 	}
 }
 
@@ -299,6 +311,7 @@ func (w *foWorld) startAttach(newIP string) {
 	seq := w.attachSeq
 	fsm := ue.NewAttachFSM(w.cfg.Retry, len(w.agws), w.sim.Rand())
 	base := w.serving
+	stormStart := w.sim.Now()
 	var attempt func()
 	attempt = func() {
 		if seq != w.attachSeq || w.runErr != nil {
@@ -312,6 +325,10 @@ func (w *foWorld) startAttach(newIP string) {
 			w.res.Attaches++
 			w.res.AttachRetries += fsm.Attempts()
 			w.res.Fallbacks += fsm.Fallbacks()
+			w.cfg.Tracer.Span("attach", "attach-storm", stormStart, w.sim.Now()-stormStart, map[string]string{
+				"telco":    w.telcos[ti].IDT,
+				"attempts": strconv.Itoa(fsm.Attempts() + 1),
+			})
 			w.resolveAttach(w.sim.Now())
 			w.sim.After(w.cfg.AttachLatency, func() {
 				if seq == w.attachSeq {
@@ -325,6 +342,9 @@ func (w *foWorld) startAttach(newIP string) {
 			// Budget exhausted: the UE stays detached until the next
 			// mobility event restarts the machine.
 			w.res.GiveUps++
+			w.cfg.Tracer.Event("attach", "give-up", map[string]string{
+				"attempts": strconv.Itoa(fsm.Attempts()),
+			})
 			return
 		}
 		w.sim.After(delay, attempt)
@@ -336,6 +356,9 @@ func (w *foWorld) startAttach(newIP string) {
 // fresh tower path, and run the attach state machine for the new address.
 func (w *foWorld) handover() {
 	w.res.Handovers++
+	w.cfg.Tracer.Event("mobility", "handover", map[string]string{
+		"n": strconv.Itoa(w.res.Handovers),
+	})
 	w.conn.AddrInvalidated()
 	old := w.ueIP
 	w.ueIdx++
@@ -382,6 +405,7 @@ func (w *foWorld) hooks() chaos.Hooks {
 			}
 			w.live = false
 			w.brk = nil
+			w.cfg.Tracer.Event("broker", "crash", nil)
 		},
 		BrokerRestart: func() {
 			nb, err := broker.Restart(w.brkCfg, w.lastSnap, w.cfg.ShedFor)
@@ -394,6 +418,9 @@ func (w *foWorld) hooks() chaos.Hooks {
 			w.brk = nb
 			w.live = true
 			w.res.BrokerRestores++
+			w.cfg.Tracer.Event("broker", "restore", map[string]string{
+				"shed_for": w.cfg.ShedFor.String(),
+			})
 			w.sim.After(w.cfg.ShedFor, nb.Resume)
 		},
 		TelcoCrash: func() {
@@ -424,6 +451,7 @@ func (w *foWorld) resolveAttach(now time.Duration) {
 			watch.resolved = true
 			watch.outcome.Recovered = true
 			watch.outcome.Recovery = now - watch.outcome.At
+			w.traceRecovered(watch)
 		}
 	}
 }
@@ -434,8 +462,19 @@ func (w *foWorld) resolveData(now time.Duration) {
 			watch.resolved = true
 			watch.outcome.Recovered = true
 			watch.outcome.Recovery = now - watch.outcome.At
+			w.traceRecovered(watch)
 		}
 	}
+}
+
+// traceRecovered emits the recovery instant for a resolved fault. Together
+// with the fault-onset instant (same "i" arg) it makes outage-to-recovery
+// derivable from the trace alone: recovery = recovered.ts - fault.ts.
+func (w *foWorld) traceRecovered(watch *foWatcher) {
+	w.cfg.Tracer.Event("chaos", "recovered", map[string]string{
+		"i":    strconv.Itoa(watch.idx),
+		"kind": watch.outcome.Kind.String(),
+	})
 }
 
 // runFailoverOnce executes one run (baseline when the schedule is empty)
@@ -461,7 +500,12 @@ func runFailoverOnce(cfg FailoverConfig, sched chaos.Schedule, res *FailoverResu
 	for i := range sched.Faults {
 		f := sched.Faults[i]
 		outcomes[i] = FaultOutcome{Kind: f.Kind, At: f.At, Dur: f.Dur}
-		watch := &foWatcher{outcome: &outcomes[i]}
+		cfg.Tracer.EventAt(f.At, "chaos", "fault", map[string]string{
+			"i":    strconv.Itoa(i),
+			"kind": f.Kind.String(),
+			"dur":  f.Dur.String(),
+		})
+		watch := &foWatcher{outcome: &outcomes[i], idx: i}
 		switch f.Kind {
 		case chaos.KindBroker, chaos.KindCrash:
 			watch.ready = f.At
@@ -535,7 +579,9 @@ func RunFailover(cfg FailoverConfig) (FailoverResult, error) {
 
 	var baseRes FailoverResult // throwaway counters for the baseline run
 	baseRes.Config = cfg
-	baseline, err := runFailoverOnce(cfg, chaos.Schedule{Seed: cfg.Seed, Horizon: cfg.Duration}, &baseRes)
+	baseCfg := cfg
+	baseCfg.Tracer = nil // only the faulted run is traced
+	baseline, err := runFailoverOnce(baseCfg, chaos.Schedule{Seed: cfg.Seed, Horizon: cfg.Duration}, &baseRes)
 	if err != nil {
 		return res, fmt.Errorf("testbed: failover baseline: %w", err)
 	}

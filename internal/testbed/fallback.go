@@ -7,7 +7,7 @@ import (
 	"cellbricks/internal/apps"
 	"cellbricks/internal/mptcp"
 	"cellbricks/internal/netem"
-	"cellbricks/internal/trace"
+	"cellbricks/internal/mobility"
 )
 
 // RunWebFallback runs the web workload under CellBricks with *plain TCP*
@@ -23,7 +23,7 @@ import (
 func RunWebFallback(sc Scenario) apps.WebResult {
 	sc = sc.Defaults()
 	sim := netem.NewSim(sc.Seed)
-	op := trace.NewOperator(sc.Seed + 1)
+	op := mobility.NewOperator(sc.Seed + 1)
 
 	f := &fallbackLoader{
 		sim: sim,
@@ -56,7 +56,7 @@ func RunWebFallback(sc Scenario) apps.WebResult {
 // connections.
 type fallbackLoader struct {
 	sim *netem.Sim
-	op  *trace.Operator
+	op  *mobility.Operator
 	sc  Scenario
 	cfg apps.WebConfig
 
@@ -198,7 +198,7 @@ func RunTransportComparisonAll(seed int64, dur time.Duration, r Runner) []Transp
 	if dur == 0 {
 		dur = 8 * time.Minute
 	}
-	base := Scenario{Route: trace.Downtown, Night: true, Arch: ArchCellBricks, Seed: seed, Duration: dur}
+	base := Scenario{Route: mobility.Downtown, Night: true, Arch: ArchCellBricks, Seed: seed, Duration: dur}
 
 	type arm struct {
 		label string

@@ -1,0 +1,147 @@
+package testbed
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"cellbricks/internal/chaos"
+	"cellbricks/internal/obs"
+)
+
+// TestFailoverTraceDoesNotPerturb is the telemetry-determinism acceptance
+// test: tracing a failover run must not change its rendered output by a
+// byte — recording observes the simulation, never participates in it.
+func TestFailoverTraceDoesNotPerturb(t *testing.T) {
+	spec, err := chaos.ParseSpec("flap=1x3s,broker=1x10s,crash=1x6s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FailoverConfig{Seed: 7, Duration: 75 * time.Second, Spec: spec}
+	plain, err := RunFailover(cfg)
+	if err != nil {
+		t.Fatalf("untraced run: %v", err)
+	}
+
+	cfg.Tracer = obs.NewTracer(nil)
+	traced, err := RunFailover(cfg)
+	if err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	if p, q := plain.Render(), traced.Render(); p != q {
+		t.Fatalf("tracing perturbed the run:\n--- untraced ---\n%s--- traced ---\n%s", p, q)
+	}
+	if cfg.Tracer.Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+}
+
+// TestFailoverTraceDerivesRecovery asserts the trace is self-sufficient:
+// outage-to-recovery per fault, recomputed from fault/recovered event
+// pairs alone, matches the result's Outcomes exactly.
+func TestFailoverTraceDerivesRecovery(t *testing.T) {
+	spec, err := chaos.ParseSpec("flap=1x3s,pause=1x800ms,broker=1x10s,crash=1x6s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(nil)
+	cfg := FailoverConfig{Seed: 7, Duration: 75 * time.Second, Spec: spec, Tracer: tr}
+	res, err := RunFailover(cfg)
+	if err != nil {
+		t.Fatalf("RunFailover: %v", err)
+	}
+
+	faultAt := map[string]time.Duration{}
+	recoveredAt := map[string]time.Duration{}
+	for _, e := range tr.Events() {
+		if e.Cat != "chaos" {
+			continue
+		}
+		switch e.Name {
+		case "fault":
+			faultAt[e.Args["i"]] = e.Start
+		case "recovered":
+			if _, seen := recoveredAt[e.Args["i"]]; !seen {
+				recoveredAt[e.Args["i"]] = e.Start
+			}
+		}
+	}
+	if len(faultAt) != len(res.Outcomes) {
+		t.Fatalf("trace has %d fault events, result has %d outcomes", len(faultAt), len(res.Outcomes))
+	}
+	for i, o := range res.Outcomes {
+		key := strconv.Itoa(i)
+		at, ok := faultAt[key]
+		if !ok || at != o.At {
+			t.Fatalf("fault %d: trace onset %v (present=%v), result %v", i, at, ok, o.At)
+		}
+		rec, ok := recoveredAt[key]
+		if ok != o.Recovered {
+			t.Fatalf("fault %d: trace recovered=%v, result recovered=%v", i, ok, o.Recovered)
+		}
+		if o.Recovered && rec-at != o.Recovery {
+			t.Fatalf("fault %d: trace-derived recovery %v, result %v", i, rec-at, o.Recovery)
+		}
+	}
+}
+
+// TestDebugEndpointsScrapeWireTraffic is the end-to-end exposition test: a
+// real-socket deployment serves attaches over TCP while a debug server
+// exposes the default registry; scraping /metrics must show the wire frame
+// counters moving.
+func TestDebugEndpointsScrapeWireTraffic(t *testing.T) {
+	srv, err := obs.ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	scrape := func() map[string]float64 {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]float64{}
+		for _, line := range strings.Split(string(body), "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			var name string
+			var v float64
+			if _, err := fmt.Sscanf(line, "%s %g", &name, &v); err == nil {
+				out[name] = v
+			}
+		}
+		return out
+	}
+	before := scrape()
+
+	d, err := NewRealDeployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	dev, tx, err := d.NewCellBricksUE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.AttachSAP(tx, d.TelcoID()); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+
+	after := scrape()
+	for _, name := range []string{"wire_frames_sent_total", "wire_frames_received_total", "epc_attaches_total"} {
+		if after[name] <= before[name] {
+			t.Errorf("%s did not move: before=%v after=%v", name, before[name], after[name])
+		}
+	}
+}

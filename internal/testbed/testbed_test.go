@@ -9,7 +9,7 @@ import (
 	"cellbricks/internal/mptcp"
 	"cellbricks/internal/netem"
 	"cellbricks/internal/qos"
-	"cellbricks/internal/trace"
+	"cellbricks/internal/mobility"
 )
 
 func TestFig7ShapeMatchesPaper(t *testing.T) {
@@ -95,7 +95,7 @@ func TestFig7BreakdownAccounting(t *testing.T) {
 }
 
 func TestWorldHandoverSchedule(t *testing.T) {
-	sc := Scenario{Route: trace.Highway, Night: true, Arch: ArchCellBricks, Seed: 4, Duration: 10 * time.Minute}
+	sc := Scenario{Route: mobility.Highway, Night: true, Arch: ArchCellBricks, Seed: 4, Duration: 10 * time.Minute}
 	w := NewWorld(sc)
 	if len(w.Handovers) < 15 {
 		t.Fatalf("only %d handovers in 10 min at 25.5s MTTHO", len(w.Handovers))
@@ -106,14 +106,14 @@ func TestWorldHandoverSchedule(t *testing.T) {
 		t.Fatal("no throughput")
 	}
 	mean := (w.Handovers[len(w.Handovers)-1] - w.Handovers[0]) / time.Duration(len(w.Handovers)-1)
-	want := trace.Highway.MTTHO(true)
+	want := mobility.Highway.MTTHO(true)
 	if mean < want*7/10 || mean > want*13/10 {
 		t.Fatalf("observed MTTHO %v, want ~%v", mean, want)
 	}
 }
 
 func TestCellBricksConnSurvivesDrive(t *testing.T) {
-	sc := Scenario{Route: trace.Downtown, Night: false, Arch: ArchCellBricks, Seed: 9, Duration: 6 * time.Minute}
+	sc := Scenario{Route: mobility.Downtown, Night: false, Arch: ArchCellBricks, Seed: 9, Duration: 6 * time.Minute}
 	w := NewWorld(sc)
 	last := uint64(0)
 	// Check the connection still makes progress after every handover.
@@ -127,7 +127,7 @@ func TestCellBricksConnSurvivesDrive(t *testing.T) {
 }
 
 func TestMNOOutageBriefButHarmless(t *testing.T) {
-	day := Scenario{Route: trace.Downtown, Arch: ArchBaseline, Seed: 10, Duration: 5 * time.Minute}
+	day := Scenario{Route: mobility.Downtown, Arch: ArchBaseline, Seed: 10, Duration: 5 * time.Minute}
 	res := RunIperf(day)
 	// The baseline keeps its connection through handovers.
 	if res.AvgBps < 0.8e6 {
@@ -136,7 +136,7 @@ func TestMNOOutageBriefButHarmless(t *testing.T) {
 }
 
 func TestNightFasterThanDay(t *testing.T) {
-	day := Scenario{Route: trace.Downtown, Arch: ArchCellBricks, Seed: 12, Duration: 4 * time.Minute}
+	day := Scenario{Route: mobility.Downtown, Arch: ArchCellBricks, Seed: 12, Duration: 4 * time.Minute}
 	night := day
 	night.Night = true
 	d := RunIperf(day).AvgBps
@@ -347,7 +347,7 @@ func TestTransportComparison(t *testing.T) {
 }
 
 func TestSoftHandoverBeatsHard(t *testing.T) {
-	base := Scenario{Route: trace.Highway, Night: true, Arch: ArchCellBricks, Seed: 13, Duration: 5 * time.Minute}
+	base := Scenario{Route: mobility.Highway, Night: true, Arch: ArchCellBricks, Seed: 13, Duration: 5 * time.Minute}
 	hard := RunIperf(base)
 	soft := base
 	soft.SoftHandover = true
@@ -428,7 +428,7 @@ func TestOrchestratorHeartbeats(t *testing.T) {
 }
 
 func TestBilledDriveEndToEnd(t *testing.T) {
-	sc := Scenario{Route: trace.Downtown, Night: true, Arch: ArchCellBricks, Seed: 31, Duration: 6 * time.Minute}
+	sc := Scenario{Route: mobility.Downtown, Night: true, Arch: ArchCellBricks, Seed: 31, Duration: 6 * time.Minute}
 	res, err := RunBilledDrive(sc, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -469,7 +469,7 @@ func TestBilledDriveEndToEnd(t *testing.T) {
 func TestBrokerOutageResilience(t *testing.T) {
 	// A handover during a 20 s broker outage stalls the attach; MPTCP's
 	// 60 s address watchdog rides it out and the connection resumes.
-	base := Scenario{Route: trace.Highway, Night: true, Arch: ArchCellBricks, Seed: 41, Duration: 4 * time.Minute}
+	base := Scenario{Route: mobility.Highway, Night: true, Arch: ArchCellBricks, Seed: 41, Duration: 4 * time.Minute}
 	w := NewWorld(base)
 	if len(w.Handovers) == 0 {
 		t.Fatal("no handovers")
@@ -500,7 +500,7 @@ func TestBrokerOutageResilience(t *testing.T) {
 }
 
 func TestGeoWorldMatchesCalibratedMTTHO(t *testing.T) {
-	sc := Scenario{Route: trace.Highway, Night: true, Arch: ArchCellBricks, Seed: 43, Duration: 8 * time.Minute}
+	sc := Scenario{Route: mobility.Highway, Night: true, Arch: ArchCellBricks, Seed: 43, Duration: 8 * time.Minute}
 	w, events := NewGeoWorld(sc, 64)
 	if len(events) < 10 {
 		t.Fatalf("only %d geometric handovers", len(events))
@@ -531,10 +531,10 @@ func TestGrantedAMBREnforcedInPath(t *testing.T) {
 	// the data path and polices the granted AMBR. Grant 4 Mbps on a
 	// 15 Mbps night cell and the download tracks the grant, with the
 	// bearer counting every byte for billing.
-	sc := Scenario{Route: trace.Downtown, Night: true, Arch: ArchCellBricks, Seed: 51, Duration: 2 * time.Minute}
+	sc := Scenario{Route: mobility.Downtown, Night: true, Arch: ArchCellBricks, Seed: 51, Duration: 2 * time.Minute}
 	sc = sc.Defaults()
 	sim := netem.NewSim(sc.Seed)
-	op := trace.NewOperator(sc.Seed + 1)
+	op := mobility.NewOperator(sc.Seed + 1)
 	link := op.CellularLink(sc.Route, sc.Night)
 
 	up := epc.NewUserPlane()

@@ -8,13 +8,13 @@ import (
 	"cellbricks/internal/mptcp"
 	"cellbricks/internal/netem"
 	"cellbricks/internal/ran"
-	"cellbricks/internal/trace"
+	"cellbricks/internal/mobility"
 )
 
 // Scenario configures one wide-area emulation run (§6.2): a route, time of
 // day, architecture, and the CellBricks parameters under study.
 type Scenario struct {
-	Route trace.Route
+	Route mobility.Route
 	Night bool
 	Arch  Arch
 	// AttachLatency is d: the detach-to-new-address gap (default
@@ -60,7 +60,7 @@ func (sc Scenario) Defaults() Scenario {
 		sc.Duration = 10 * time.Minute
 	}
 	if sc.Route.Name == "" {
-		sc.Route = trace.Downtown
+		sc.Route = mobility.Downtown
 	}
 	return sc
 }
@@ -74,7 +74,7 @@ type World struct {
 	Handovers []time.Duration
 	Scenario  Scenario
 
-	op    *trace.Operator
+	op    *mobility.Operator
 	ueIdx int
 	ueIP  string
 	link  *netem.Link
@@ -93,7 +93,7 @@ const ServerIP = "server"
 func NewWorld(sc Scenario) *World {
 	sc = sc.Defaults()
 	sim := netem.NewSim(sc.Seed)
-	op := trace.NewOperator(sc.Seed + 1)
+	op := mobility.NewOperator(sc.Seed + 1)
 	w := &World{Sim: sim, Scenario: sc, op: op, ueIP: "ue-0"}
 	w.link = op.CellularLink(sc.Route, sc.Night)
 	sim.Connect(ServerIP, w.ueIP, w.link)
@@ -179,7 +179,7 @@ func RunIperf(sc Scenario) apps.IperfResult {
 func RunPing(sc Scenario) (p50 time.Duration, loss float64) {
 	sc = sc.Defaults()
 	sim := netem.NewSim(sc.Seed)
-	op := trace.NewOperator(sc.Seed + 1)
+	op := mobility.NewOperator(sc.Seed + 1)
 	ueIP := "ping-ue-0"
 	link := op.CellularLink(sc.Route, sc.Night)
 	sim.Connect(ServerIP, ueIP, link)
@@ -213,7 +213,7 @@ func RunPing(sc Scenario) (p50 time.Duration, loss float64) {
 func RunVoIP(sc Scenario) apps.VoIPResult {
 	sc = sc.Defaults()
 	sim := netem.NewSim(sc.Seed)
-	op := trace.NewOperator(sc.Seed + 1)
+	op := mobility.NewOperator(sc.Seed + 1)
 	ueIP := "voip-ue-0"
 	link := op.CellularLink(sc.Route, sc.Night)
 	sim.Connect(ServerIP, ueIP, link)
@@ -271,7 +271,7 @@ func NewGeoWorld(sc Scenario, towers int) (*World, []ran.HandoverEvent) {
 	events := mobile.DriveHandovers(sc.Duration, 100*time.Millisecond)
 
 	sim := netem.NewSim(sc.Seed)
-	op := trace.NewOperator(sc.Seed + 1)
+	op := mobility.NewOperator(sc.Seed + 1)
 	w := &World{Sim: sim, Scenario: sc, op: op, ueIP: "ue-0"}
 	w.link = op.CellularLink(sc.Route, sc.Night)
 	sim.Connect(ServerIP, w.ueIP, w.link)

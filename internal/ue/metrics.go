@@ -1,0 +1,32 @@
+package ue
+
+import (
+	"cellbricks/internal/obs"
+)
+
+// Telemetry handles for the UE attach path. The FSM drives both real
+// sockets and the discrete-event testbed; counters are append-only
+// atomics that never touch the FSM's rng or the caller's clock, so the
+// seeded experiments stay byte-identical with telemetry on.
+var mtr struct {
+	attempts  *obs.Counter
+	retries   *obs.Counter
+	fallbacks *obs.Counter
+	giveups   *obs.Counter
+}
+
+func init() { SetMetricsEnabled(true) }
+
+// SetMetricsEnabled installs (true) or removes (false) the package's
+// handles in the default registry.
+func SetMetricsEnabled(on bool) {
+	if !on {
+		mtr.attempts, mtr.retries, mtr.fallbacks, mtr.giveups = nil, nil, nil, nil
+		return
+	}
+	r := obs.Default()
+	mtr.attempts = r.Counter("ue_attach_attempts_total", "attach attempts started (first try and retries)")
+	mtr.retries = r.Counter("ue_attach_retries_total", "attach failures absorbed by the retry FSM")
+	mtr.fallbacks = r.Counter("ue_attach_fallbacks_total", "times the FSM rotated off the serving bTelco")
+	mtr.giveups = r.Counter("ue_attach_giveups_total", "attach budgets exhausted without success")
+}

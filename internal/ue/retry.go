@@ -119,13 +119,16 @@ func (m *AttachFSM) Fallbacks() int { return m.fallbacks }
 // server's hint. giveUp reports budget exhaustion.
 func (m *AttachFSM) Fail(err error) (delay time.Duration, giveUp bool) {
 	m.attempt++
+	mtr.retries.Add(1)
 	if m.attempt >= m.pol.MaxAttempts {
+		mtr.giveups.Add(1)
 		return 0, true
 	}
 	prev := m.cand
 	m.cand = (m.cand + 1) % m.candidates
 	if prev == 0 && m.cand != 0 {
 		m.fallbacks++
+		mtr.fallbacks.Add(1)
 	}
 	delay = m.pol.Backoff(m.attempt, m.rng)
 	var ra *wire.RetryAfterError
@@ -158,6 +161,7 @@ func (d *Device) AttachSAPRetry(pol RetryPolicy, rng *rand.Rand, sleep func(time
 	var lastErr error
 	for {
 		c := cands[fsm.Candidate()]
+		mtr.attempts.Add(1)
 		a, err := d.AttachSAP(c.Tx, c.TelcoID)
 		if err == nil {
 			return a, fsm.Candidate(), fsm, nil

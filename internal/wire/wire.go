@@ -26,6 +26,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"cellbricks/internal/obs"
 )
 
 // MaxFrame bounds a frame to keep a misbehaving peer from ballooning
@@ -110,8 +112,12 @@ func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
-	return err
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	mtr.framesSent.Add(1)
+	mtr.bytesSent.Add(uint64(len(hdr) + len(payload)))
+	return nil
 }
 
 // ReadFrame reads one frame.
@@ -128,6 +134,8 @@ func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return 0, nil, err
 	}
+	mtr.framesRecv.Add(1)
+	mtr.bytesRecv.Add(uint64(len(lenBuf) + len(buf)))
 	return buf[0], buf[1:], nil
 }
 
@@ -247,6 +255,8 @@ func (s *Server) handle(msgType byte, payload []byte) (replyType byte, reply []b
 			s.mu.Lock()
 			s.panics++
 			s.mu.Unlock()
+			mtr.panics.Add(1)
+			obs.Errorf("wire", "handler panic (type %d): %v", msgType, r)
 		}
 	}()
 	replyType, reply, err = s.handler(msgType, payload)
@@ -413,6 +423,8 @@ func (c *Client) breakConn() {
 		c.conn.Close()
 		c.conn = nil
 		c.stats.Broken++
+		mtr.broken.Add(1)
+		obs.Debugf("wire", "connection to %s broken mid-frame, will redial", c.addr)
 	}
 }
 
@@ -444,6 +456,8 @@ func (c *Client) callOnce(msgType byte, payload []byte) (byte, []byte, error, bo
 		}
 		c.conn = conn
 		c.stats.Redials++
+		mtr.redials.Add(1)
+		obs.Debugf("wire", "redialled %s", c.addr)
 	}
 	if c.opts.CallTimeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout))
@@ -477,10 +491,16 @@ func (c *Client) Call(msgType byte, payload []byte) (byte, []byte, error) {
 		return 0, nil, ErrClosed
 	}
 	c.stats.Calls++
+	mtr.calls.Add(1)
+	if mtr.callLatency != nil {
+		start := time.Now()
+		defer func() { mtr.callLatency.Observe(time.Since(start)) }()
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			c.stats.Retries++
+			mtr.retries.Add(1)
 		}
 		replyType, reply, err, transport := c.callOnce(msgType, payload)
 		if err == nil {
@@ -490,11 +510,18 @@ func (c *Client) Call(msgType byte, payload []byte) (byte, []byte, error) {
 		switch {
 		case transport:
 			// Mid-frame failure: the stream is desynced, never reuse it.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				mtr.deadlineHits.Add(1)
+			}
 			c.breakConn()
 			lastErr = err
+			obs.Debugf("wire", "call to %s attempt %d failed: %v", c.addr, attempt+1, err)
 		case errors.As(err, &ra):
 			// Typed shed signal: connection healthy, retry after the hint.
+			mtr.shedReplies.Add(1)
 			lastErr = err
+			obs.Debugf("wire", "server %s shedding load, retry after %v", c.addr, ra.After)
 		default:
 			// Remote application error: the exchange completed; framing is
 			// intact and retrying would re-run a failed request.
