@@ -28,8 +28,11 @@ import (
 	"strings"
 	"time"
 
+	"runtime/pprof"
+
 	"cellbricks/internal/chaos"
 	"cellbricks/internal/mobility"
+	"cellbricks/internal/netem"
 	"cellbricks/internal/obs"
 	"cellbricks/internal/testbed"
 )
@@ -117,9 +120,21 @@ func main() {
 	jsonPath := flag.String("json-file", "", "bench-trajectory file (default BENCH_<date>.json)")
 	label := flag.String("label", "", "label for this run in the bench-trajectory file")
 	traceOut := flag.String("trace-out", "", "write the failover protocol trace to this file (Chrome trace-event JSON; .jsonl suffix for JSON lines)")
+	sched := flag.String("sched", "wheel", "netem event scheduler: wheel|heap (output is identical; heap is the reference for A/B determinism checks)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile per experiment to <prefix>.<exp>.cpu.pprof")
+	memProfile := flag.String("memprofile", "", "write a heap profile per experiment to <prefix>.<exp>.mem.pprof")
 	verbose := flag.Bool("v", false, "enable debug-level logging")
 	flag.Parse()
 	obs.Verbose(*verbose)
+	switch *sched {
+	case "wheel":
+		netem.SetDefaultScheduler(netem.SchedulerWheel)
+	case "heap":
+		netem.SetDefaultScheduler(netem.SchedulerHeap)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q: want wheel|heap\n", *sched)
+		os.Exit(2)
+	}
 
 	var tracer *obs.Tracer
 	if *traceOut != "" {
@@ -144,11 +159,42 @@ func main() {
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
 		telemBefore := obs.Default().Snapshot()
+		var cpuFile *os.File
+		if *cpuProfile != "" {
+			var err error
+			cpuFile, err = os.Create(fmt.Sprintf("%s.%s.cpu.pprof", *cpuProfile, name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+				os.Exit(1)
+			}
+			if err := pprof.StartCPUProfile(cpuFile); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		t0 := time.Now()
 		out, metrics, err := f()
 		wall := time.Since(t0)
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)
+		if *memProfile != "" {
+			mf, merr := os.Create(fmt.Sprintf("%s.%s.mem.pprof", *memProfile, name))
+			if merr == nil {
+				runtime.GC()
+				merr = pprof.WriteHeapProfile(mf)
+				if cerr := mf.Close(); merr == nil {
+					merr = cerr
+				}
+			}
+			if merr != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", merr)
+				os.Exit(1)
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)

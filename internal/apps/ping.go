@@ -19,12 +19,29 @@ type Pinger struct {
 	sim      *netem.Sim
 	clientIP string
 	serverIP string
+	clientEP netem.Endpoint
+	serverEP netem.Endpoint
 	interval time.Duration
 
 	seq     uint64
 	sent    uint64
 	samples []time.Duration
+	free    []*probe // probe free list; see getProbe/putProbe
 	stopped bool
+}
+
+func (p *Pinger) getProbe() *probe {
+	if n := len(p.free); n > 0 {
+		pr := p.free[n-1]
+		p.free = p.free[:n-1]
+		return pr
+	}
+	return &probe{}
+}
+
+func (p *Pinger) putProbe(pr *probe) {
+	*pr = probe{}
+	p.free = append(p.free, pr)
 }
 
 // NewPinger wires a prober between clientIP and serverIP (a link must
@@ -36,6 +53,8 @@ func NewPinger(sim *netem.Sim, clientIP, serverIP string, interval time.Duration
 	p := &Pinger{sim: sim, clientIP: clientIP, serverIP: serverIP, interval: interval}
 	sim.Register(serverIP, p.handleAtServer)
 	sim.Register(clientIP, p.handleAtClient)
+	p.serverEP = sim.Endpoint(serverIP)
+	p.clientEP = sim.Endpoint(clientIP)
 	return p
 }
 
@@ -44,9 +63,18 @@ func (p *Pinger) handleAtServer(pkt *netem.Packet) {
 	if !ok || pr.Echo {
 		return
 	}
-	echo := *pr
-	echo.Echo = true
-	p.sim.Send(&netem.Packet{Src: p.serverIP, Dst: pkt.Src, Size: pkt.Size, Payload: &echo})
+	// Reuse the request's probe box for the echo: the inbound packet is
+	// recycled after this handler, but its payload is ours now.
+	pr.Echo = true
+	out := p.sim.GetPacket()
+	out.Src, out.Dst = p.serverIP, pkt.Src
+	out.SrcEP, out.DstEP = pkt.DstEP, pkt.SrcEP
+	out.Size = pkt.Size
+	out.Payload = pr
+	if !p.sim.Send(out) {
+		p.putProbe(pr)
+		p.sim.PutPacket(out)
+	}
 }
 
 func (p *Pinger) handleAtClient(pkt *netem.Packet) {
@@ -55,6 +83,7 @@ func (p *Pinger) handleAtClient(pkt *netem.Packet) {
 		return
 	}
 	p.samples = append(p.samples, p.sim.Now()-pr.SentAt)
+	p.putProbe(pr)
 }
 
 // SetClientIP rehomes the prober after a host-driven mobility event.
@@ -62,6 +91,7 @@ func (p *Pinger) SetClientIP(newIP string) {
 	p.sim.Unregister(p.clientIP)
 	p.clientIP = newIP
 	p.sim.Register(newIP, p.handleAtClient)
+	p.clientEP = p.sim.Endpoint(newIP)
 }
 
 // InvalidateClient drops the prober's address (probes in this window are
@@ -80,12 +110,17 @@ func (p *Pinger) Run(dur time.Duration) []time.Duration {
 		}
 		p.seq++
 		p.sent++
-		p.sim.Send(&netem.Packet{
-			Src:     p.clientIP,
-			Dst:     p.serverIP,
-			Size:    64,
-			Payload: &probe{Seq: p.seq, SentAt: p.sim.Now()},
-		})
+		pr := p.getProbe()
+		pr.Seq, pr.SentAt = p.seq, p.sim.Now()
+		pkt := p.sim.GetPacket()
+		pkt.Src, pkt.Dst = p.clientIP, p.serverIP
+		pkt.SrcEP, pkt.DstEP = p.clientEP, p.serverEP
+		pkt.Size = 64
+		pkt.Payload = pr
+		if !p.sim.Send(pkt) {
+			p.putProbe(pr)
+			p.sim.PutPacket(pkt)
+		}
 		p.sim.After(p.interval, tick)
 	}
 	tick()

@@ -31,6 +31,10 @@ type VoIP struct {
 	sim      *netem.Sim
 	clientIP string
 	serverIP string
+	clientEP netem.Endpoint
+	serverEP netem.Endpoint
+
+	free []*rtpPacket // frame free list
 
 	seq      uint64
 	sent     uint64
@@ -56,7 +60,23 @@ const (
 func NewVoIP(sim *netem.Sim, clientIP, serverIP string) *VoIP {
 	v := &VoIP{sim: sim, clientIP: clientIP, serverIP: serverIP, active: true}
 	sim.Register(clientIP, v.handleMedia)
+	v.clientEP = sim.Endpoint(clientIP)
+	v.serverEP = sim.Endpoint(serverIP)
 	return v
+}
+
+func (v *VoIP) getFrame() *rtpPacket {
+	if n := len(v.free); n > 0 {
+		f := v.free[n-1]
+		v.free = v.free[:n-1]
+		return f
+	}
+	return &rtpPacket{}
+}
+
+func (v *VoIP) putFrame(f *rtpPacket) {
+	*f = rtpPacket{}
+	v.free = append(v.free, f)
 }
 
 func (v *VoIP) handleMedia(pkt *netem.Packet) {
@@ -64,6 +84,7 @@ func (v *VoIP) handleMedia(pkt *netem.Packet) {
 	if !ok {
 		return
 	}
+	defer v.putFrame(rtp)
 	v.received++
 	delay := v.sim.Now() - rtp.SentAt
 	v.delays = append(v.delays, delay)
@@ -90,6 +111,7 @@ func (v *VoIP) InvalidateClient() {
 // signalling round trip after the new attachment, then media resumes.
 func (v *VoIP) Rehome(newIP string, signalRTT time.Duration) {
 	v.clientIP = newIP
+	v.clientEP = v.sim.Endpoint(newIP)
 	v.sim.After(signalRTT, func() {
 		if v.stopped {
 			return
@@ -109,12 +131,17 @@ func (v *VoIP) Run(dur time.Duration) VoIPResult {
 		}
 		v.seq++
 		v.sent++
-		v.sim.Send(&netem.Packet{
-			Src:     v.serverIP,
-			Dst:     v.clientIP,
-			Size:    frameSize,
-			Payload: &rtpPacket{Seq: v.seq, SentAt: v.sim.Now()},
-		})
+		f := v.getFrame()
+		f.Seq, f.SentAt = v.seq, v.sim.Now()
+		pkt := v.sim.GetPacket()
+		pkt.Src, pkt.Dst = v.serverIP, v.clientIP
+		pkt.SrcEP, pkt.DstEP = v.serverEP, v.clientEP
+		pkt.Size = frameSize
+		pkt.Payload = f
+		if !v.sim.Send(pkt) {
+			v.putFrame(f)
+			v.sim.PutPacket(pkt)
+		}
 		v.sim.After(frameInterval, tick)
 	}
 	tick()

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrShort is returned when input is exhausted mid-field.
@@ -58,6 +59,23 @@ func (w *Writer) Float64(v float64) { w.Uint64(math.Float64bits(v)) }
 
 // Out returns the accumulated encoding.
 func (w *Writer) Out() []byte { return w.b }
+
+// Reset empties the Writer, keeping its capacity for reuse.
+func (w *Writer) Reset() { w.b = w.b[:0] }
+
+var writerPool = sync.Pool{New: func() any { return &Writer{} }}
+
+// AcquireWriter returns an empty pooled Writer. Release it with
+// ReleaseWriter once the encoding has been copied or written out; the
+// slice from Out aliases the Writer's buffer and must not be retained
+// past the release.
+func AcquireWriter() *Writer { return writerPool.Get().(*Writer) }
+
+// ReleaseWriter resets w and returns it to the pool.
+func ReleaseWriter(w *Writer) {
+	w.Reset()
+	writerPool.Put(w)
+}
 
 // Reader consumes encoded fields, latching the first error.
 type Reader struct {

@@ -257,7 +257,12 @@ func (g *AGW) HandleNAS(ranID string, envelope []byte) ([]byte, error) {
 	}
 }
 
-func plain(m nas.Message) []byte { return append([]byte{0}, nas.Encode(m)...) }
+// plain wraps an unprotected NAS reply: flag(0) || encoding, built in a
+// single allocation. (AGW handlers run concurrently, so there is no
+// shared scratch buffer here — each reply owns its storage.)
+func plain(m nas.Message) []byte {
+	return nas.AppendEncode(make([]byte, 1, 96), m)
+}
 
 // reject counts a failed attach and produces the reject envelope.
 func (g *AGW) reject(cause string) []byte {
@@ -288,7 +293,10 @@ func (g *AGW) rejectErr(err error) []byte {
 }
 
 func (g *AGW) protectedReply(s *Session, m nas.Message) []byte {
-	return append([]byte{1}, s.Ctx.Protect(nas.Downlink, nas.Encode(m))...)
+	ct := s.Ctx.Protect(nas.Downlink, nas.Encode(m))
+	out := make([]byte, 1, 1+len(ct))
+	out[0] = 1
+	return append(out, ct...)
 }
 
 // --- legacy (baseline) attach: AIR -> challenge -> SMC -> ULR -> accept ---

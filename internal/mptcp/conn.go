@@ -73,6 +73,13 @@ type Conn struct {
 
 	serverIP string
 	clientIP string
+	serverEP netem.Endpoint
+	clientEP netem.Endpoint
+
+	// segs recycles transport PDUs between the two endpoints; together
+	// with the sim's packet pool the steady-state data/ACK exchange runs
+	// allocation-free.
+	segs segPool
 
 	// Server-side (sender) state.
 	sender     *senderState
@@ -118,8 +125,24 @@ func NewConn(sim *netem.Sim, serverIP, clientIP string, cfg Config) *Conn {
 	}
 	c.sim.Register(serverIP, c.handleAtServer)
 	c.sim.Register(clientIP, c.handleAtClient)
+	c.serverEP = sim.Endpoint(serverIP)
+	c.clientEP = sim.Endpoint(clientIP)
 	c.newSubflow()
 	return c
+}
+
+// sendSeg emits one control/ACK segment from a pooled packet, recycling
+// both boxes if the network rejects it at admission.
+func (c *Conn) sendSeg(src, dst string, srcEP, dstEP netem.Endpoint, size int, seg *Segment) {
+	pkt := c.sim.GetPacket()
+	pkt.Src, pkt.Dst = src, dst
+	pkt.SrcEP, pkt.DstEP = srcEP, dstEP
+	pkt.Size = size
+	pkt.Payload = seg
+	if !c.sim.Send(pkt) {
+		c.segs.put(seg)
+		c.sim.PutPacket(pkt)
+	}
 }
 
 func (c *Conn) newSubflow() {
@@ -128,7 +151,7 @@ func (c *Conn) newSubflow() {
 	// *new* source address, which misses the kernel's per-(src,dst)
 	// metrics cache, so it performs a fresh slow start — the behaviour
 	// behind the paper's post-handover ramp-and-overshoot (Fig. 8/9).
-	c.sender = newSender(c.sim, c.id, c.subflowSeq, c.serverIP, c.clientIP, c.sndUna, nil)
+	c.sender = newSender(c.sim, c.id, c.subflowSeq, c.serverIP, c.clientIP, &c.segs, c.sndUna, nil)
 	c.sender.supply(c.appLimit)
 	if c.OnSubflow != nil {
 		c.OnSubflow(c.subflowSeq)
@@ -167,8 +190,15 @@ func (c *Conn) Closed() bool { return c.state == stateClosed }
 
 // handleAtClient processes downlink data segments and emits ACKs.
 func (c *Conn) handleAtClient(p *netem.Packet) {
-	seg, ok := p.Payload.(*Segment)
-	if !ok || seg.ConnID != c.id || c.state == stateClosed {
+	segp, ok := p.Payload.(*Segment)
+	if !ok {
+		return
+	}
+	// Copy out and recycle immediately: replies emitted below may reuse
+	// the very same box from the pool.
+	seg := *segp
+	c.segs.put(segp)
+	if seg.ConnID != c.id || c.state == stateClosed {
 		return
 	}
 	if seg.SYN && seg.ACK {
@@ -177,16 +207,12 @@ func (c *Conn) handleAtClient(p *netem.Packet) {
 			return
 		}
 		// SYN/ACK of a join handshake: complete with the final ACK.
-		c.sim.Send(&netem.Packet{
-			Src:  c.clientIP,
-			Dst:  c.serverIP,
-			Size: headerSize,
-			Payload: &Segment{
-				ConnID: c.id, SubflowID: seg.SubflowID,
-				ACK: true, SYN: false, Ack: c.recvNext, SentAt: seg.SentAt,
-				RemoveAddr: seg.RemoveAddr,
-			},
-		})
+		out := c.segs.get()
+		out.ConnID, out.SubflowID = c.id, seg.SubflowID
+		out.ACK, out.SYN = true, false
+		out.Ack, out.SentAt = c.recvNext, seg.SentAt
+		out.RemoveAddr = seg.RemoveAddr
+		c.sendSeg(c.clientIP, c.serverIP, c.clientEP, c.serverEP, headerSize, out)
 		return
 	}
 	if seg.Len == 0 {
@@ -220,16 +246,11 @@ func (c *Conn) handleAtClient(p *netem.Packet) {
 	}
 	// ACK (immediate, echoing the timestamp for RTT sampling and
 	// reporting the first hole for SACK-lite recovery).
-	c.sim.Send(&netem.Packet{
-		Src:  c.clientIP,
-		Dst:  c.serverIP,
-		Size: headerSize,
-		Payload: &Segment{
-			ConnID: c.id, SubflowID: seg.SubflowID,
-			ACK: true, Ack: c.recvNext, SentAt: seg.SentAt,
-			HoleEnd: c.firstOOO(), StaleHint: stale,
-		},
-	})
+	out := c.segs.get()
+	out.ConnID, out.SubflowID = c.id, seg.SubflowID
+	out.ACK, out.Ack, out.SentAt = true, c.recvNext, seg.SentAt
+	out.HoleEnd, out.StaleHint = c.firstOOO(), stale
+	c.sendSeg(c.clientIP, c.serverIP, c.clientEP, c.serverEP, headerSize, out)
 }
 
 // firstOOO returns the lowest buffered out-of-order offset (0 if none):
@@ -254,22 +275,23 @@ func (c *Conn) advance(n int) {
 
 // handleAtServer processes ACKs and join handshakes.
 func (c *Conn) handleAtServer(p *netem.Packet) {
-	seg, ok := p.Payload.(*Segment)
-	if !ok || seg.ConnID != c.id || c.state == stateClosed {
+	segp, ok := p.Payload.(*Segment)
+	if !ok {
+		return
+	}
+	seg := *segp
+	c.segs.put(segp)
+	if seg.ConnID != c.id || c.state == stateClosed {
 		return
 	}
 	if seg.SYN && !seg.ACK {
 		// MP_JOIN / PATH_CHALLENGE from the client's new address: reply.
-		c.sim.Send(&netem.Packet{
-			Src:  c.serverIP,
-			Dst:  c.clientIP,
-			Size: headerSize,
-			Payload: &Segment{
-				ConnID: c.id, SubflowID: seg.SubflowID,
-				SYN: true, ACK: true, SentAt: c.sim.Now(),
-				RemoveAddr: seg.RemoveAddr,
-			},
-		})
+		out := c.segs.get()
+		out.ConnID, out.SubflowID = c.id, seg.SubflowID
+		out.SYN, out.ACK = true, true
+		out.SentAt = c.sim.Now()
+		out.RemoveAddr = seg.RemoveAddr
+		c.sendSeg(c.serverIP, c.clientIP, c.serverEP, c.clientEP, headerSize, out)
 		if c.cfg.Protocol == ProtoQUIC && c.state == stateJoining && seg.SubflowID == c.subflowSeq+1 {
 			// QUIC switches to the probed path immediately: the server
 			// resumes sending without waiting for a third handshake leg
@@ -341,6 +363,7 @@ func (c *Conn) AddrAvailable(newIP string) {
 	}
 	c.clientIP = newIP
 	c.sim.Register(newIP, c.handleAtClient)
+	c.clientEP = c.sim.Endpoint(newIP)
 	start := func() {
 		if c.state != stateNoAddress {
 			return
@@ -373,16 +396,11 @@ func (c *Conn) releaseOld() {
 }
 
 func (c *Conn) sendJoin() {
-	c.sim.Send(&netem.Packet{
-		Src:  c.clientIP,
-		Dst:  c.serverIP,
-		Size: headerSize,
-		Payload: &Segment{
-			ConnID: c.id, SubflowID: c.subflowSeq + 1,
-			SYN: true, SentAt: c.sim.Now(),
-			RemoveAddr: c.subflowSeq,
-		},
-	})
+	out := c.segs.get()
+	out.ConnID, out.SubflowID = c.id, c.subflowSeq+1
+	out.SYN, out.SentAt = true, c.sim.Now()
+	out.RemoveAddr = c.subflowSeq
+	c.sendSeg(c.clientIP, c.serverIP, c.clientEP, c.serverEP, headerSize, out)
 	c.waitTimer = c.sim.After(time.Second, func() {
 		if c.state == stateJoining {
 			c.sendJoin()
@@ -404,6 +422,7 @@ func (c *Conn) MigrateSoft(newIP string) {
 	oldIP := c.clientIP
 	c.clientIP = newIP
 	c.sim.Register(newIP, c.handleAtClient)
+	c.clientEP = c.sim.Endpoint(newIP)
 	// Keep receiving on the old address until the switch completes.
 	c.sim.Register(oldIP, c.handleAtClient)
 	c.state = stateJoining

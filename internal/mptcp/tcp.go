@@ -45,6 +45,27 @@ type Segment struct {
 	EchoedAt  time.Duration
 }
 
+// segPool recycles Segments within one connection. A Sim is
+// single-goroutine, so a plain free list suffices. Receive handlers copy
+// a delivered segment by value and return the box immediately; senders
+// return a segment only when netem rejects the carrying packet — each box
+// is therefore put at most once per trip.
+type segPool struct{ free []*Segment }
+
+func (p *segPool) get() *Segment {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return &Segment{}
+}
+
+func (p *segPool) put(s *Segment) {
+	*s = Segment{}
+	p.free = append(p.free, s)
+}
+
 // senderState is one TCP sender: congestion control and retransmission for
 // a single subflow. Sequence numbers are connection-level so a new subflow
 // resumes where the old one stopped.
@@ -55,6 +76,9 @@ type senderState struct {
 	subflowID uint32
 	srcIP     string
 	dstIP     string
+	srcEP     netem.Endpoint
+	dstEP     netem.Endpoint
+	segs      *segPool
 
 	// Congestion control (byte-based NewReno).
 	cwnd     float64
@@ -96,13 +120,19 @@ const (
 	rcvWindow = 1 << 20
 )
 
-func newSender(sim *netem.Sim, connID uint64, subflowID uint32, src, dst string, startSeq uint64, onSend func(*Segment)) *senderState {
+func newSender(sim *netem.Sim, connID uint64, subflowID uint32, src, dst string, segs *segPool, startSeq uint64, onSend func(*Segment)) *senderState {
+	if segs == nil {
+		segs = &segPool{}
+	}
 	return &senderState{
 		sim:       sim,
 		connID:    connID,
 		subflowID: subflowID,
 		srcIP:     src,
 		dstIP:     dst,
+		srcEP:     sim.Endpoint(src),
+		dstEP:     sim.Endpoint(dst),
+		segs:      segs,
 		cwnd:      initialCwnd,
 		ssthresh:  1 << 30,
 		sndUna:    startSeq,
@@ -143,23 +173,25 @@ func (s *senderState) emit(seq uint64, n int) {
 	if n <= 0 {
 		return
 	}
-	seg := &Segment{
-		ConnID:    s.connID,
-		SubflowID: s.subflowID,
-		Seq:       seq,
-		Len:       n,
-		ACK:       true,
-		SentAt:    s.sim.Now(),
-	}
+	seg := s.segs.get()
+	seg.ConnID = s.connID
+	seg.SubflowID = s.subflowID
+	seg.Seq = seq
+	seg.Len = n
+	seg.ACK = true
+	seg.SentAt = s.sim.Now()
 	if s.onSend != nil {
 		s.onSend(seg)
 	}
-	s.sim.Send(&netem.Packet{
-		Src:     s.srcIP,
-		Dst:     s.dstIP,
-		Size:    n + headerSize,
-		Payload: seg,
-	})
+	pkt := s.sim.GetPacket()
+	pkt.Src, pkt.Dst = s.srcIP, s.dstIP
+	pkt.SrcEP, pkt.DstEP = s.srcEP, s.dstEP
+	pkt.Size = n + headerSize
+	pkt.Payload = seg
+	if !s.sim.Send(pkt) {
+		s.segs.put(seg)
+		s.sim.PutPacket(pkt)
+	}
 }
 
 func (s *senderState) armRTO() {

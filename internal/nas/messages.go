@@ -28,7 +28,7 @@ const (
 // Message is a decodable NAS message.
 type Message interface {
 	Type() byte
-	marshalBody() []byte
+	appendBody([]byte) []byte
 	unmarshalBody([]byte) error
 }
 
@@ -37,10 +37,15 @@ var ErrUnknownMessage = errors.New("nas: unknown message type")
 
 // Encode serializes a NAS message with its type byte.
 func Encode(m Message) []byte {
-	body := m.marshalBody()
-	out := make([]byte, 0, 1+len(body))
-	out = append(out, m.Type())
-	return append(out, body...)
+	return AppendEncode(nil, m)
+}
+
+// AppendEncode serializes m (type byte + body) onto dst and returns the
+// extended slice — the allocation-free path for callers that reuse a
+// scratch buffer.
+func AppendEncode(dst []byte, m Message) []byte {
+	dst = append(dst, m.Type())
+	return m.appendBody(dst)
 }
 
 // Decode parses a NAS message.
@@ -176,8 +181,8 @@ type AttachRequestLegacy struct {
 }
 
 func (*AttachRequestLegacy) Type() byte { return MsgAttachRequestLegacy }
-func (m *AttachRequestLegacy) marshalBody() []byte {
-	var w writer
+func (m *AttachRequestLegacy) appendBody(b []byte) []byte {
+	w := writer{b: b}
 	w.str(m.IMSI)
 	w.u32(m.Capabilities)
 	return w.b
@@ -196,8 +201,8 @@ type AuthenticationRequest struct {
 }
 
 func (*AuthenticationRequest) Type() byte { return MsgAuthenticationRequest }
-func (m *AuthenticationRequest) marshalBody() []byte {
-	var w writer
+func (m *AuthenticationRequest) appendBody(b []byte) []byte {
+	w := writer{b: b}
 	w.bytes(m.RAND[:])
 	w.bytes(m.AUTN)
 	return w.b
@@ -220,8 +225,8 @@ func (m *AuthenticationRequest) unmarshalBody(b []byte) error {
 type AuthenticationResponse struct{ RES []byte }
 
 func (*AuthenticationResponse) Type() byte { return MsgAuthenticationResponse }
-func (m *AuthenticationResponse) marshalBody() []byte {
-	var w writer
+func (m *AuthenticationResponse) appendBody(b []byte) []byte {
+	w := writer{b: b}
 	w.bytes(m.RES)
 	return w.b
 }
@@ -240,8 +245,8 @@ type SecurityModeCommand struct {
 }
 
 func (*SecurityModeCommand) Type() byte { return MsgSecurityModeCommand }
-func (m *SecurityModeCommand) marshalBody() []byte {
-	var w writer
+func (m *SecurityModeCommand) appendBody(b []byte) []byte {
+	w := writer{b: b}
 	w.byte1(m.CipherAlg)
 	w.byte1(m.IntegrityAlg)
 	w.u32(m.ReplayedCaps)
@@ -259,7 +264,7 @@ func (m *SecurityModeCommand) unmarshalBody(b []byte) error {
 type SecurityModeComplete struct{}
 
 func (*SecurityModeComplete) Type() byte          { return MsgSecurityModeComplete }
-func (*SecurityModeComplete) marshalBody() []byte { return nil }
+func (*SecurityModeComplete) appendBody(b []byte) []byte { return b }
 func (*SecurityModeComplete) unmarshalBody(b []byte) error {
 	if len(b) != 0 {
 		return fmt.Errorf("nas: %d trailing bytes", len(b))
@@ -279,8 +284,8 @@ type AttachRequestSAP struct {
 }
 
 func (*AttachRequestSAP) Type() byte { return MsgAttachRequestSAP }
-func (m *AttachRequestSAP) marshalBody() []byte {
-	var w writer
+func (m *AttachRequestSAP) appendBody(b []byte) []byte {
+	w := writer{b: b}
 	w.str(m.BrokerID)
 	w.bytes(m.AuthReqU)
 	return w.b
@@ -306,8 +311,8 @@ type AttachAccept struct {
 }
 
 func (*AttachAccept) Type() byte { return MsgAttachAccept }
-func (m *AttachAccept) marshalBody() []byte {
-	var w writer
+func (m *AttachAccept) appendBody(b []byte) []byte {
+	w := writer{b: b}
 	w.u64(m.SessionID)
 	w.str(m.IP)
 	w.u32(m.BearerID)
@@ -339,8 +344,8 @@ type AttachReject struct {
 }
 
 func (*AttachReject) Type() byte { return MsgAttachReject }
-func (m *AttachReject) marshalBody() []byte {
-	var w writer
+func (m *AttachReject) appendBody(b []byte) []byte {
+	w := writer{b: b}
 	w.str(m.Cause)
 	w.u32(m.RetryAfterMS)
 	return w.b
@@ -356,8 +361,8 @@ func (m *AttachReject) unmarshalBody(b []byte) error {
 type DetachRequest struct{ SessionID uint64 }
 
 func (*DetachRequest) Type() byte { return MsgDetachRequest }
-func (m *DetachRequest) marshalBody() []byte {
-	var w writer
+func (m *DetachRequest) appendBody(b []byte) []byte {
+	w := writer{b: b}
 	w.u64(m.SessionID)
 	return w.b
 }
@@ -371,8 +376,8 @@ func (m *DetachRequest) unmarshalBody(b []byte) error {
 type DetachAccept struct{ SessionID uint64 }
 
 func (*DetachAccept) Type() byte { return MsgDetachAccept }
-func (m *DetachAccept) marshalBody() []byte {
-	var w writer
+func (m *DetachAccept) appendBody(b []byte) []byte {
+	w := writer{b: b}
 	w.u64(m.SessionID)
 	return w.b
 }
@@ -390,8 +395,8 @@ type SessionRequest struct {
 }
 
 func (*SessionRequest) Type() byte { return MsgSessionRequest }
-func (m *SessionRequest) marshalBody() []byte {
-	var w writer
+func (m *SessionRequest) appendBody(b []byte) []byte {
+	w := writer{b: b}
 	w.u64(m.SessionID)
 	w.str(m.APN)
 	w.byte1(m.QCI)
@@ -413,8 +418,8 @@ type SessionAccept struct {
 }
 
 func (*SessionAccept) Type() byte { return MsgSessionAccept }
-func (m *SessionAccept) marshalBody() []byte {
-	var w writer
+func (m *SessionAccept) appendBody(b []byte) []byte {
+	w := writer{b: b}
 	w.u64(m.SessionID)
 	w.u32(m.BearerID)
 	w.byte1(m.QCI)

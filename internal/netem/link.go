@@ -7,10 +7,21 @@ import (
 // Packet is the unit of transfer in the emulator. Payload is opaque to the
 // network; Size (bytes, including notional headers) is what the link-level
 // serialization and shaping act on.
+//
+// SrcEP/DstEP are the interned handles for Src/Dst. Senders on a hot path
+// may set the handles (from Sim.Endpoint) and leave the strings empty:
+// Send fills the strings back in from the interning table without hashing.
+// Conversely, a packet with only strings set gets its handles resolved on
+// first Send. Handles are per-Sim — never move a resolved Packet between
+// simulators.
 type Packet struct {
-	Src, Dst string // IP-like endpoint identifiers
-	Size     int    // wire size in bytes
-	Payload  any
+	Src, Dst     string   // IP-like endpoint identifiers
+	SrcEP, DstEP Endpoint // interned handles (0 = unresolved)
+	Size         int      // wire size in bytes
+	Payload      any
+
+	pooled   bool // obtained from Sim.GetPacket; recycled after delivery
+	inflight bool // scheduled for delivery; guards against premature reuse
 }
 
 // RateFunc returns the shaping rate in bits/second at virtual time t.
@@ -21,6 +32,14 @@ type RateFunc func(t time.Duration) float64
 // may vary with (virtual) time of day, with a finite drop-tail queue. This
 // reproduces the bimodal day/night throughput the paper measures on
 // T-Mobile (Appendix A).
+//
+// Queue-bound precedence: a nonzero MaxQueueTime (sojourn bound) always
+// wins over MaxQueueBytes; the byte bound applies only when MaxQueueTime
+// is zero. NewShaper configures the byte bound (with a 256 KB default),
+// NewShaperSojourn the time bound — a struct literal can set either
+// directly, but note that a literal with both fields zero is a burst-only
+// policer: no queueing beyond the bucket credit (no default is applied
+// outside the constructors).
 type Shaper struct {
 	Rate        RateFunc
 	BucketBytes float64 // burst allowance
@@ -29,14 +48,17 @@ type Shaper struct {
 	MaxQueueBytes int
 	// MaxQueueTime bounds the queue by sojourn time instead — the
 	// behaviour of deployed AQM and a bound that self-scales when the
-	// policed rate varies with time of day.
+	// policed rate varies with time of day. Takes precedence over
+	// MaxQueueBytes when nonzero.
 	MaxQueueTime time.Duration
 
 	busyUntil time.Duration // virtual clock: when the policed wire frees up
 }
 
-// NewShaper builds a shaper with the given rate schedule. burst and queue
-// are in bytes; sensible defaults are applied when zero.
+// NewShaper builds a byte-bounded shaper with the given rate schedule.
+// burst and queue are in bytes; sensible defaults (32 KB burst, 256 KB
+// queue) are applied when zero. For a sojourn-time queue bound use
+// NewShaperSojourn.
 func NewShaper(rate RateFunc, burstBytes, queueBytes int) *Shaper {
 	if burstBytes <= 0 {
 		burstBytes = 32 * 1024
@@ -48,6 +70,25 @@ func NewShaper(rate RateFunc, burstBytes, queueBytes int) *Shaper {
 		Rate:          rate,
 		BucketBytes:   float64(burstBytes),
 		MaxQueueBytes: queueBytes,
+	}
+}
+
+// NewShaperSojourn builds a shaper whose queue is bounded by sojourn time
+// (the AQM-style bound): a packet that would wait longer than maxQueue is
+// dropped. The same 32 KB burst default applies; maxQueue <= 0 selects
+// 100 ms. The sojourn bound takes precedence, so MaxQueueBytes is left
+// zero here and ignored by admit.
+func NewShaperSojourn(rate RateFunc, burstBytes int, maxQueue time.Duration) *Shaper {
+	if burstBytes <= 0 {
+		burstBytes = 32 * 1024
+	}
+	if maxQueue <= 0 {
+		maxQueue = 100 * time.Millisecond
+	}
+	return &Shaper{
+		Rate:         rate,
+		BucketBytes:  float64(burstBytes),
+		MaxQueueTime: maxQueue,
 	}
 }
 
@@ -75,7 +116,8 @@ func (sh *Shaper) admit(now time.Duration, size int) (delay time.Duration, drop 
 		sh.busyUntil = now - burstTime
 	}
 
-	// Drop bound expressed as queued time.
+	// Drop bound expressed as queued time: the sojourn bound when set,
+	// else the byte bound converted at the instantaneous rate.
 	maxQueueTime := sh.MaxQueueTime
 	if maxQueueTime == 0 {
 		maxQueueTime = time.Duration(float64(sh.MaxQueueBytes) / bytesPerSec * float64(time.Second))
@@ -151,55 +193,52 @@ func (l *Link) Stats() LinkStats { return l.stats }
 // changes). The binding box persists so delivery events captured before a
 // later Register/Unregister still observe the endpoint's current state.
 func (s *Sim) Register(ip string, fn func(*Packet)) {
-	if fn == nil {
-		if ref, ok := s.handlers[ip]; ok {
-			ref.fn = nil
-		}
-		return
-	}
-	s.handlerFor(ip).fn = fn
+	s.handlers[s.Endpoint(ip)-1].fn = fn
 }
 
 // Unregister removes an endpoint. In-flight packets to it are dropped on
 // arrival, modelling an invalidated address.
 func (s *Sim) Unregister(ip string) {
-	if ref, ok := s.handlers[ip]; ok {
-		ref.fn = nil
+	if ep, ok := s.eps[ip]; ok {
+		s.handlers[ep-1].fn = nil
 	}
 }
 
-// handlerFor returns the (possibly empty) handler binding for ip,
-// creating it on first use.
-func (s *Sim) handlerFor(ip string) *handlerRef {
-	if ref, ok := s.handlers[ip]; ok {
-		return ref
-	}
-	ref := &handlerRef{}
-	s.handlers[ip] = ref
-	return ref
-}
-
-// Connect installs a link between two endpoints (order-insensitive).
+// Connect installs a link between two endpoints (order-insensitive). The
+// link's A direction (ShaperAB, the AB serialization state) is the one
+// originating at the lexicographically smaller name.
 func (s *Sim) Connect(a, b string, l *Link) {
-	s.paths[orderedKey(a, b)] = l
-	s.lastLink = nil
+	epA, epB := s.Endpoint(a), s.Endpoint(b)
+	aEP := epA
+	if b < a {
+		aEP = epB
+	}
+	s.paths[packEPs(epA, epB)] = &pathEntry{link: l, aEP: aEP}
+	s.lastPath = nil
 }
 
 // Disconnect removes the link between two endpoints.
 func (s *Sim) Disconnect(a, b string) {
-	delete(s.paths, orderedKey(a, b))
-	s.lastLink = nil
+	if epA, ok := s.eps[a]; ok {
+		if epB, ok := s.eps[b]; ok {
+			delete(s.paths, packEPs(epA, epB))
+		}
+	}
+	s.lastPath = nil
 }
 
 // LinkBetween returns the installed link, or nil.
 func (s *Sim) LinkBetween(a, b string) *Link {
-	k := orderedKey(a, b)
-	if s.lastLink != nil && k == s.lastKey {
-		return s.lastLink
+	epA, ok := s.eps[a]
+	if !ok {
+		return nil
 	}
-	if l := s.paths[k]; l != nil {
-		s.lastKey, s.lastLink = k, l
-		return l
+	epB, ok := s.eps[b]
+	if !ok {
+		return nil
+	}
+	if e := s.paths[packEPs(epA, epB)]; e != nil {
+		return e.link
 	}
 	return nil
 }
@@ -209,11 +248,40 @@ func (s *Sim) LinkBetween(a, b string) *Link {
 // reports whether the packet was admitted (false = dropped immediately;
 // packets can also be dropped silently at delivery if the destination has
 // unregistered).
+//
+// The hot path is allocation-free and hash-free: endpoint strings resolve
+// to interned handles once (cached in the Packet), the path table is
+// keyed by packed handle pairs behind a single-entry cache, and pooled
+// packets/events come from per-Sim free lists.
 func (s *Sim) Send(pkt *Packet) bool {
-	l := s.LinkBetween(pkt.Src, pkt.Dst)
-	if l == nil {
-		return false
+	src, dst := pkt.SrcEP, pkt.DstEP
+	if src == 0 {
+		src = s.Endpoint(pkt.Src)
+		pkt.SrcEP = src
 	}
+	if dst == 0 {
+		dst = s.Endpoint(pkt.Dst)
+		pkt.DstEP = dst
+	}
+	// Taps, Transit hooks, and receive handlers compare the string
+	// fields; materialize them from the interning table (no hashing).
+	if pkt.Src == "" {
+		pkt.Src = s.epNames[src-1]
+	}
+	if pkt.Dst == "" {
+		pkt.Dst = s.epNames[dst-1]
+	}
+
+	key := packEPs(src, dst)
+	entry := s.lastPath
+	if entry == nil || key != s.lastKey {
+		entry = s.paths[key]
+		if entry == nil {
+			return false
+		}
+		s.lastKey, s.lastPath = key, entry
+	}
+	l := entry.link
 	if l.Down {
 		l.stats.DroppedDown++
 		mtr.dropDown.Add(1)
@@ -230,7 +298,7 @@ func (s *Sim) Send(pkt *Packet) bool {
 		return false
 	}
 
-	forward := orderedKey(pkt.Src, pkt.Dst).a == pkt.Src
+	forward := src == entry.aEP
 	var shaper *Shaper
 	if forward {
 		shaper = l.ShaperAB
@@ -302,6 +370,7 @@ func (s *Sim) Send(pkt *Packet) bool {
 	if s.OnSend != nil {
 		s.OnSend(pkt, arrival)
 	}
-	s.scheduleDelivery(arrival, pkt, s.handlerFor(pkt.Dst))
+	pkt.inflight = true
+	s.scheduleDelivery(arrival, pkt, s.handlers[dst-1])
 	return true
 }

@@ -116,3 +116,133 @@ func TestStatsDroppedQueueShaperOverload(t *testing.T) {
 		t.Fatalf("drops (%d) + sent (%d) != offered 50", st.DroppedQueue, st.Sent)
 	}
 }
+
+// The queue-bound precedence contract (see the Shaper doc): a nonzero
+// MaxQueueTime always wins; MaxQueueBytes applies only when the sojourn
+// bound is zero. A sojourn-only Shaper used to be misconfigured through
+// NewShaper (which force-defaults the byte bound); NewShaperSojourn and
+// these tests pin the fixed behaviour.
+
+// flat returns a constant-rate schedule.
+func flat(bps float64) RateFunc { return func(time.Duration) float64 { return bps } }
+
+func TestShaperSojournBoundWinsOverBytes(t *testing.T) {
+	// 100 KB/s, 1000 B burst (= 10 ms of credit), a 10 ms sojourn bound,
+	// and a byte bound so large it would never drop. Each 1000 B packet
+	// adds 10 ms of backlog, so the sojourn bound must cut in at 20 ms of
+	// queued time regardless of the byte bound.
+	sh := &Shaper{
+		Rate:          flat(8e5),
+		BucketBytes:   1000,
+		MaxQueueBytes: 1 << 30,
+		MaxQueueTime:  10 * time.Millisecond,
+	}
+	// Admit at t=20 ms: the shaper has been idle past its burst window,
+	// so the full 10 ms bucket credit is available.
+	admitted := 0
+	for i := 0; i < 8; i++ {
+		if _, drop := sh.admit(20*time.Millisecond, 1000); !drop {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("sojourn bound admitted %d packets, want 3 (burst + 2 queued)", admitted)
+	}
+}
+
+func TestShaperByteBoundAppliesWhenSojournZero(t *testing.T) {
+	// Same shaper with the sojourn bound cleared: the 2500 B byte bound
+	// (25 ms at this rate) now governs, admitting one more packet.
+	sh := &Shaper{
+		Rate:          flat(8e5),
+		BucketBytes:   1000,
+		MaxQueueBytes: 2500,
+	}
+	admitted := 0
+	for i := 0; i < 8; i++ {
+		if _, drop := sh.admit(20*time.Millisecond, 1000); !drop {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Fatalf("byte bound admitted %d packets, want 4", admitted)
+	}
+}
+
+func TestShaperLiteralBothZeroBurstOnly(t *testing.T) {
+	// Documented corner: a literal with both bounds zero is a burst-only
+	// policer — packets ride the bucket credit but nothing may queue
+	// (constructor defaults are not applied retroactively).
+	sh := &Shaper{Rate: flat(8e5), BucketBytes: 1000}
+	admitted := 0
+	for i := 0; i < 8; i++ {
+		if _, drop := sh.admit(20*time.Millisecond, 1000); !drop {
+			admitted++
+		}
+	}
+	// 10 ms of credit plus the packet landing exactly on the now-boundary.
+	if admitted != 2 {
+		t.Fatalf("burst-only shaper admitted %d packets, want 2", admitted)
+	}
+}
+
+func TestNewShaperSojournDefaults(t *testing.T) {
+	sh := NewShaperSojourn(flat(8e5), 0, 0)
+	if sh.BucketBytes != 32*1024 {
+		t.Fatalf("BucketBytes = %v, want 32 KB default", sh.BucketBytes)
+	}
+	if sh.MaxQueueTime != 100*time.Millisecond {
+		t.Fatalf("MaxQueueTime = %v, want 100 ms default", sh.MaxQueueTime)
+	}
+	if sh.MaxQueueBytes != 0 {
+		t.Fatalf("MaxQueueBytes = %d, want 0 (sojourn bound governs)", sh.MaxQueueBytes)
+	}
+}
+
+func TestShaperSojournOnLink(t *testing.T) {
+	s := NewSim(1)
+	// Sojourn-bounded shaper on the A->B direction: a burst overruns the
+	// 5 ms bound and the tail lands in DroppedQueue.
+	l := &Link{ShaperAB: NewShaperSojourn(flat(80e3), 1024, 5*time.Millisecond)}
+	s.Connect("a", "b", l)
+	got := 0
+	s.Register("b", func(*Packet) { got++ })
+	sent := 0
+	for i := 0; i < 50; i++ {
+		if s.Send(&Packet{Src: "a", Dst: "b", Size: 1500}) {
+			sent++
+		}
+	}
+	s.Run()
+	st := l.Stats()
+	if st.DroppedQueue == 0 || st.DroppedQueue+st.Sent != 50 {
+		t.Fatalf("stats %+v: want sojourn drops and drops+sent == 50", st)
+	}
+	if got != sent {
+		t.Fatalf("delivered %d of %d admitted", got, sent)
+	}
+}
+
+func TestShaperDirectionSurvivesConnectOrder(t *testing.T) {
+	// The A direction is defined by lexicographic name order, not by the
+	// argument order of Connect. With endpoint interning the direction
+	// bit is derived from stored handles, so Connect("b", "a") must
+	// shape exactly like Connect("a", "b").
+	for _, swap := range []bool{false, true} {
+		s := NewSim(1)
+		l := &Link{ShaperAB: NewShaper(flat(0), 1, 1)} // zero rate: drops everything a->b
+		if swap {
+			s.Connect("b", "a", l)
+		} else {
+			s.Connect("a", "b", l)
+		}
+		s.Register("a", func(*Packet) {})
+		s.Register("b", func(*Packet) {})
+		if s.Send(&Packet{Src: "a", Dst: "b", Size: 100}) {
+			t.Fatalf("swap=%v: a->b escaped the AB shaper", swap)
+		}
+		if !s.Send(&Packet{Src: "b", Dst: "a", Size: 100}) {
+			t.Fatalf("swap=%v: b->a hit the AB shaper", swap)
+		}
+	}
+}

@@ -76,5 +76,5 @@ func (s *Sim) FlushMetrics() {
 		mtr.delivered.Add(m.delivered)
 		m.delivered = 0
 	}
-	mtr.queueDepth.Set(int64(len(s.events)))
+	mtr.queueDepth.Set(int64(s.sched.len()))
 }

@@ -16,9 +16,9 @@
 package netem
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -34,7 +34,7 @@ type Event struct {
 	pkt       *Packet
 	dst       *handlerRef
 	cancelled bool
-	index     int // heap index, -1 once popped
+	index     int // heap index while resident in an eventHeap
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
@@ -50,7 +50,7 @@ func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
 
 // handlerRef is the mutable binding from an endpoint identifier to its
 // receive handler. Delivery events capture the ref at send time, so the
-// per-packet map lookup happens once on Send instead of once more on
+// per-packet lookup happens once on Send instead of once more on
 // delivery; Register/Unregister swap fn in place.
 type handlerRef struct {
 	fn func(*Packet)
@@ -85,27 +85,83 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Endpoint is a dense integer handle for an endpoint identifier string,
+// interned per Sim. Zero means "unresolved"; valid handles start at 1.
+// Handles are only meaningful within the Sim that issued them.
+type Endpoint int32
+
+// SchedulerKind selects a Sim's event-queue implementation.
+type SchedulerKind int32
+
+const (
+	// SchedulerWheel is the hierarchical timing wheel (default): O(1)
+	// schedule/pop for the short-horizon delivery events that dominate
+	// emulation runs, with an overflow heap for far-future timers.
+	SchedulerWheel SchedulerKind = iota
+	// SchedulerHeap is the reference container/heap binary heap. Firing
+	// order is identical to the wheel; it exists as the determinism oracle
+	// and an escape hatch.
+	SchedulerHeap
+)
+
+var defaultScheduler atomic.Int32 // SchedulerKind; wheel (0) by default
+
+// SetDefaultScheduler changes the scheduler NewSim uses for subsequently
+// constructed simulators. Both kinds fire events in identical (at, seq)
+// order, so experiment output is unaffected; this exists for A/B
+// determinism tests and benchmarks.
+func SetDefaultScheduler(k SchedulerKind) { defaultScheduler.Store(int32(k)) }
+
+// DefaultScheduler reports the kind NewSim currently uses.
+func DefaultScheduler() SchedulerKind { return SchedulerKind(defaultScheduler.Load()) }
+
+// pathEntry is an installed link plus the interned handle of its
+// lexicographically-smaller endpoint name, which fixes the link's A->B
+// direction (shaper and serialization state are per-direction).
+type pathEntry struct {
+	link *Link
+	aEP  Endpoint
+}
+
+// packEPs builds the order-insensitive path-map key for a pair of
+// endpoint handles.
+func packEPs(x, y Endpoint) uint64 {
+	if x > y {
+		x, y = y, x
+	}
+	return uint64(uint32(x))<<32 | uint64(uint32(y))
+}
+
 // Sim is a discrete-event simulator with a virtual clock. The zero value is
 // not usable; construct with NewSim.
 type Sim struct {
-	now    time.Duration
-	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
+	now   time.Duration
+	sched scheduler
+	seq   uint64
+	rng   *rand.Rand
 
-	handlers map[string]*handlerRef // IP -> receive handler binding
-	paths    map[pathKey]*Link
+	// Endpoint interning: names resolve once to dense handles; the
+	// per-packet path indexes slices instead of hashing strings.
+	eps      map[string]Endpoint
+	epNames  []string      // handle-1 -> name
+	handlers []*handlerRef // handle-1 -> receive handler binding
+
+	paths map[uint64]*pathEntry
 
 	// Single-entry path cache: bulk transfers hammer one (src, dst) pair,
 	// so most Sends skip the map lookup entirely. Invalidated on any
 	// Connect/Disconnect.
-	lastKey  pathKey
-	lastLink *Link
+	lastKey  uint64
+	lastPath *pathEntry
 
 	// free recycles the internal delivery events, the dominant allocation
 	// of a packet-heavy run. Caller-visible events (from At/After) are
 	// never pooled: callers may hold them for Cancel long after firing.
 	free []*Event
+
+	// pktFree recycles pooled Packets (see GetPacket); together with the
+	// event free list this makes the steady-state send path allocation-free.
+	pktFree []*Packet
 
 	// mtrLocal batches this Sim's telemetry; see metrics.go.
 	mtrLocal simMetrics
@@ -119,21 +175,26 @@ type Sim struct {
 	OnDeliver func(pkt *Packet, at time.Duration)
 }
 
-type pathKey struct{ a, b string }
-
-func orderedKey(a, b string) pathKey {
-	if a > b {
-		a, b = b, a
-	}
-	return pathKey{a, b}
+// NewSim returns a simulator seeded deterministically, using the process
+// default scheduler (the timing wheel unless SetDefaultScheduler changed it).
+func NewSim(seed int64) *Sim {
+	return NewSimScheduler(seed, DefaultScheduler())
 }
 
-// NewSim returns a simulator seeded deterministically.
-func NewSim(seed int64) *Sim {
+// NewSimScheduler returns a simulator with an explicit scheduler kind.
+// Output per seed is byte-identical across kinds.
+func NewSimScheduler(seed int64, kind SchedulerKind) *Sim {
+	var sched scheduler
+	if kind == SchedulerHeap {
+		sched = &heapSched{}
+	} else {
+		sched = newTimingWheel()
+	}
 	return &Sim{
-		rng:      rand.New(rand.NewSource(seed)),
-		handlers: make(map[string]*handlerRef),
-		paths:    make(map[pathKey]*Link),
+		rng:   rand.New(rand.NewSource(seed)),
+		sched: sched,
+		eps:   make(map[string]Endpoint),
+		paths: make(map[uint64]*pathEntry),
 	}
 }
 
@@ -143,6 +204,28 @@ func (s *Sim) Now() time.Duration { return s.now }
 // Rand returns the simulator's deterministic random source.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
+// Endpoint interns an endpoint identifier, returning its dense handle.
+// Repeated calls with the same name return the same handle.
+func (s *Sim) Endpoint(name string) Endpoint {
+	if ep, ok := s.eps[name]; ok {
+		return ep
+	}
+	s.epNames = append(s.epNames, name)
+	s.handlers = append(s.handlers, &handlerRef{})
+	ep := Endpoint(len(s.epNames))
+	s.eps[name] = ep
+	return ep
+}
+
+// EndpointName returns the name a handle was interned under, or "" for an
+// invalid handle.
+func (s *Sim) EndpointName(ep Endpoint) string {
+	if ep < 1 || int(ep) > len(s.epNames) {
+		return ""
+	}
+	return s.epNames[ep-1]
+}
+
 // At schedules fn at absolute virtual time t. Scheduling in the past panics:
 // that is always a logic error in a discrete-event model.
 func (s *Sim) At(t time.Duration, fn func()) *Event {
@@ -151,7 +234,7 @@ func (s *Sim) At(t time.Duration, fn func()) *Event {
 	}
 	s.seq++
 	e := &Event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.events, e)
+	s.sched.push(e)
 	return e
 }
 
@@ -175,7 +258,7 @@ func (s *Sim) scheduleDelivery(t time.Duration, pkt *Packet, dst *handlerRef) {
 		e = &Event{}
 	}
 	e.at, e.seq, e.pkt, e.dst = t, s.seq, pkt, dst
-	heap.Push(&s.events, e)
+	s.sched.push(e)
 }
 
 // release returns a popped delivery event to the free list. Events that
@@ -188,11 +271,38 @@ func (s *Sim) release(e *Event) {
 	s.free = append(s.free, e)
 }
 
+// GetPacket returns a Packet from the Sim's pool (or a fresh one). Pooled
+// packets are recycled automatically after their delivery handler returns,
+// so neither the sender nor the receiver may retain one past the handler;
+// copy out what you need. A pooled packet that Send rejects (returns
+// false) is still owned by the caller — return it with PutPacket.
+func (s *Sim) GetPacket() *Packet {
+	if n := len(s.pktFree); n > 0 {
+		p := s.pktFree[n-1]
+		s.pktFree = s.pktFree[:n-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// PutPacket returns a pooled packet for reuse, zeroing it. Packets not
+// obtained from GetPacket, and packets currently in flight, are ignored.
+func (s *Sim) PutPacket(p *Packet) {
+	if p == nil || !p.pooled || p.inflight {
+		return
+	}
+	*p = Packet{pooled: true}
+	s.pktFree = append(s.pktFree, p)
+}
+
 // Step fires the next pending event. It reports false when the queue is
 // empty.
 func (s *Sim) Step() bool {
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(*Event)
+	for {
+		e := s.sched.pop()
+		if e == nil {
+			return false
+		}
 		if e.cancelled {
 			s.release(e)
 			continue
@@ -201,6 +311,9 @@ func (s *Sim) Step() bool {
 		if e.dst != nil {
 			pkt, ref := e.pkt, e.dst
 			s.release(e) // recycle before the handler runs: pkt/ref are copied out
+			if pkt.pooled {
+				pkt.inflight = false
+			}
 			if ref.fn != nil {
 				s.mtrLocal.delivered++
 				if s.mtrLocal.tick++; s.mtrLocal.tick&(flushEvery-1) == 0 {
@@ -211,12 +324,14 @@ func (s *Sim) Step() bool {
 				}
 				ref.fn(pkt)
 			}
+			// Auto-recycle unless the handler re-sent the same packet
+			// (inflight again) or it was never pooled.
+			s.PutPacket(pkt)
 		} else {
 			e.fn()
 		}
 		return true
 	}
-	return false
 }
 
 // Run processes events until the queue is empty.
@@ -246,16 +361,18 @@ func (s *Sim) RunUntil(t time.Duration) {
 // queue is drained, discarding cancelled events at the top so RunUntil's
 // bound check sees a live one.
 func (s *Sim) peek() *Event {
-	for s.events.Len() > 0 {
-		e := s.events[0]
+	for {
+		e := s.sched.peek()
+		if e == nil {
+			return nil
+		}
 		if !e.cancelled {
 			return e
 		}
-		heap.Pop(&s.events)
+		s.sched.pop()
 		s.release(e)
 	}
-	return nil
 }
 
 // Pending reports the number of scheduled (possibly cancelled) events.
-func (s *Sim) Pending() int { return s.events.Len() }
+func (s *Sim) Pending() int { return s.sched.len() }

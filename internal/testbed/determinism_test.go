@@ -1,0 +1,57 @@
+package testbed
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"cellbricks/internal/netem"
+)
+
+// renderSHA hashes an experiment's rendered output, the same bytes the
+// bench harness records as output_sha256.
+func renderSHA(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestSchedulerABExperimentSHA256 is the end-to-end scheduler A/B golden
+// check: a full experiment run under the timing wheel must hash to exactly
+// the same output as the same run under the reference heap, for several
+// seeds. Fig. 8 is used because it exercises the whole stack — mobility,
+// handover, MPTCP, iperf — while being fully virtual-time deterministic.
+// (Fig. 7 is deliberately not hashed here: its attach breakdown charges
+// real wall-clock crypto time into the virtual clock, so even two
+// same-scheduler runs differ in the low digits.)
+func TestSchedulerABExperimentSHA256(t *testing.T) {
+	prev := netem.DefaultScheduler()
+	defer netem.SetDefaultScheduler(prev)
+
+	for _, seed := range []int64{1, 7, 42} {
+		netem.SetDefaultScheduler(netem.SchedulerWheel)
+		wheel := renderSHA(RunFig8(seed, 15*time.Second).Render())
+		netem.SetDefaultScheduler(netem.SchedulerHeap)
+		heap := renderSHA(RunFig8(seed, 15*time.Second).Render())
+		if wheel != heap {
+			t.Fatalf("seed %d: wheel output %s != heap output %s", seed, wheel, heap)
+		}
+	}
+}
+
+// TestSchedulerSameKindStableSHA256 pins plain run-to-run determinism for
+// each scheduler kind separately: the same seed must reproduce the same
+// bytes.
+func TestSchedulerSameKindStableSHA256(t *testing.T) {
+	prev := netem.DefaultScheduler()
+	defer netem.SetDefaultScheduler(prev)
+
+	for _, kind := range []netem.SchedulerKind{netem.SchedulerWheel, netem.SchedulerHeap} {
+		netem.SetDefaultScheduler(kind)
+		a := renderSHA(RunFig8(99, 15*time.Second).Render())
+		b := renderSHA(RunFig8(99, 15*time.Second).Render())
+		if a != b {
+			t.Fatalf("kind %d: same-seed runs hash %s vs %s", kind, a, b)
+		}
+	}
+}

@@ -57,6 +57,7 @@ type Device struct {
 	mu     sync.Mutex
 	ctx    *nas.SecurityContext
 	attach *Attachment
+	enc    []byte // NAS encode scratch (guarded by mu; Protect copies out)
 }
 
 // NewDevice builds a device. key is the broker-issued UE key (also the
@@ -83,7 +84,11 @@ func (d *Device) Context() *nas.SecurityContext {
 	return d.ctx
 }
 
-func plainEnvelope(m nas.Message) []byte { return append([]byte{0}, nas.Encode(m)...) }
+// plainEnvelope wraps an unprotected NAS message: flag(0) || encoding,
+// built in a single allocation.
+func plainEnvelope(m nas.Message) []byte {
+	return nas.AppendEncode(make([]byte, 1, 96), m)
+}
 
 func (d *Device) protectedEnvelope(m nas.Message) ([]byte, error) {
 	d.mu.Lock()
@@ -91,7 +96,11 @@ func (d *Device) protectedEnvelope(m nas.Message) ([]byte, error) {
 	if d.ctx == nil {
 		return nil, ErrNotAttached
 	}
-	return append([]byte{1}, d.ctx.Protect(nas.Uplink, nas.Encode(m))...), nil
+	d.enc = nas.AppendEncode(d.enc[:0], m)
+	ct := d.ctx.Protect(nas.Uplink, d.enc)
+	out := make([]byte, 1, 1+len(ct))
+	out[0] = 1
+	return append(out, ct...), nil
 }
 
 // decodeReply unwraps a downlink envelope, unprotecting when flagged.
