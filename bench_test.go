@@ -249,13 +249,20 @@ func BenchmarkAblationTransports(b *testing.B) {
 	}
 }
 
-// BenchmarkScaleSharedCell sweeps the UE count on one 50 Mbps cell.
+// BenchmarkScaleSharedCell sweeps the UE count across shared 50 Mbps
+// cells, once per world shard count — the shard-speedup A/B pair (on a
+// single-core runner the two arms are expected to tie).
 func BenchmarkScaleSharedCell(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		results := testbed.RunScaleSweep(17, []int{1, 4, 16, 64}, 50e6, 30*time.Second, testbed.Runner{})
-		if i == 0 {
-			b.Log("\n" + testbed.RenderScale(results))
-		}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := testbed.ScaleConfig{Seed: 17, CellBps: 50e6, Duration: 10 * time.Second, Shards: shards}
+			for i := 0; i < b.N; i++ {
+				results := testbed.RunScaleSweep(cfg, []int{64, 256})
+				if i == 0 {
+					b.Log("\n" + testbed.RenderScale(results))
+				}
+			}
+		})
 	}
 }
 

@@ -12,9 +12,12 @@
 // Flags tune the emulated duration, trials and seed; results print the
 // same rows/series the paper reports. Independent simulations within an
 // experiment fan out over -workers goroutines (default: GOMAXPROCS) with
-// output byte-identical to -seq; -json appends a machine-readable record
-// of each experiment's wall time, allocations, and headline metrics to
-// BENCH_<date>.json, building a benchmark trajectory across commits.
+// output byte-identical to -seq; -shards K additionally partitions each
+// scale/failover world across K netem shards running in parallel, again
+// with byte-identical output for any K; -json appends a machine-readable
+// record of each experiment's wall time, allocations, and headline
+// metrics to BENCH_<date>.json, building a benchmark trajectory across
+// commits.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,14 +60,18 @@ type expRecord struct {
 // benchRun is one cbbench invocation: its configuration plus every
 // experiment it ran.
 type benchRun struct {
-	Label       string      `json:"label,omitempty"`
-	Date        string      `json:"date"`
-	GoVersion   string      `json:"go_version"`
-	GOMAXPROCS  int         `json:"gomaxprocs"`
-	Workers     int         `json:"workers"` // 0 = GOMAXPROCS
-	Sequential  bool        `json:"sequential"`
-	Seed        int64       `json:"seed"`
-	Experiments []expRecord `json:"experiments"`
+	Label      string `json:"label,omitempty"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"` // 0 = GOMAXPROCS; clamped to GOMAXPROCS when larger
+	Sequential bool   `json:"sequential"`
+	// Shards is the requested -shards value; ShardsEffective is after the
+	// GOMAXPROCS clamp — the K that actually ran.
+	Shards          int         `json:"shards"`
+	ShardsEffective int         `json:"shards_effective"`
+	Seed            int64       `json:"seed"`
+	Experiments     []expRecord `json:"experiments"`
 }
 
 // benchFile is the on-disk trajectory: successive runs append, so one file
@@ -114,6 +122,8 @@ func main() {
 	trials := flag.Int("trials", 3, "fig9: trials per configuration")
 	workers := flag.Int("workers", 0, "worker goroutines for independent simulations (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run every simulation sequentially (same output, no parallelism)")
+	shards := flag.Int("shards", 1, "netem world shards for scale/failover (clamped to GOMAXPROCS; output is byte-identical for any value)")
+	scaleN := flag.String("scale-n", "1,4,16,64,1024,10240", "scale: comma-separated UE counts to sweep")
 	faults := flag.String("faults", "flap=2x3s,pause=1x800ms,broker=1x10s,crash=1x6s,corrupt=1x5s@0.05",
 		"failover: fault spec, class=COUNTxDUR[@RATE] comma-separated (classes: flap pause broker crash corrupt trunc)")
 	jsonOut := flag.Bool("json", false, "append wall time/allocs/metrics to the bench-trajectory file")
@@ -142,14 +152,25 @@ func main() {
 	}
 
 	runner := testbed.Runner{Workers: *workers, Sequential: *seq}
+	effShards := netem.ClampShards(*shards)
 	rec := benchRun{
-		Label:      *label,
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    *workers,
-		Sequential: *seq,
-		Seed:       *seed,
+		Label:           *label,
+		Date:            time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         *workers,
+		Sequential:      *seq,
+		Shards:          *shards,
+		ShardsEffective: effShards,
+		Seed:            *seed,
+	}
+	// -dur defaults to the Table 1 drive time; the scale sweep has its own
+	// 60 s default unless -dur was given explicitly.
+	durSet := false
+	flag.Visit(func(f *flag.Flag) { durSet = durSet || f.Name == "dur" })
+	scaleDur := 60 * time.Second
+	if durSet {
+		scaleDur = *dur
 	}
 
 	// run executes one experiment, prints its rendered output, and (for
@@ -300,12 +321,26 @@ func main() {
 		})
 	}
 	if want("scale") {
-		run("scale", "Ablation: shared-cell scaling (50 Mbps cell)", func() (string, map[string]float64, error) {
-			counts := []int{1, 4, 16, 64}
-			results := testbed.RunScaleSweep(*seed, counts, 50e6, 60*time.Second, runner)
+		run("scale", "Ablation: shared-cell scaling (50 Mbps cells, sharded world)", func() (string, map[string]float64, error) {
+			var counts []int
+			for _, f := range strings.Split(*scaleN, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil || n < 1 {
+					return "", nil, fmt.Errorf("scale: bad -scale-n entry %q", f)
+				}
+				counts = append(counts, n)
+			}
+			cfg := testbed.ScaleConfig{Seed: *seed, CellBps: 50e6, Duration: scaleDur, Shards: effShards}
+			results := testbed.RunScaleSweep(cfg, counts)
 			m := make(map[string]float64)
 			for _, r := range results {
 				m[fmt.Sprintf("fairness_%due", r.N)] = r.Fairness
+				m[fmt.Sprintf("wall_ms_%due", r.N)] = r.WallMS
+				m[fmt.Sprintf("perue_p50_mbps_%due", r.N)] = r.PerUEBps.P50 / 1e6
+				m[fmt.Sprintf("perue_p90_mbps_%due", r.N)] = r.PerUEBps.P90 / 1e6
+				m[fmt.Sprintf("perue_p99_mbps_%due", r.N)] = r.PerUEBps.P99 / 1e6
+				m[fmt.Sprintf("perue_min_mbps_%due", r.N)] = r.PerUEBps.Min / 1e6
+				m[fmt.Sprintf("perue_max_mbps_%due", r.N)] = r.PerUEBps.Max / 1e6
 			}
 			return testbed.RenderScale(results), m, nil
 		})
@@ -317,7 +352,7 @@ func main() {
 				return "", nil, err
 			}
 			res, err := testbed.RunFailover(testbed.FailoverConfig{
-				Seed: *seed, Duration: *dur, Spec: spec, Tracer: tracer,
+				Seed: *seed, Duration: *dur, Spec: spec, Tracer: tracer, Shards: effShards,
 			})
 			if err != nil {
 				return "", nil, err

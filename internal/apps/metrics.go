@@ -8,7 +8,7 @@ package apps
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -16,18 +16,29 @@ import (
 // interpolating between the two nearest ranks when p falls between them
 // (so p50 of {10ms, 20ms} is 15ms, not 10ms); zero when empty.
 func Percentile(samples []time.Duration, p float64) time.Duration {
+	return percentileOf(samples, p)
+}
+
+// PercentileFloats is Percentile for unitless samples — the scale
+// experiment's per-UE throughput summaries use it so a 10k-UE sweep can
+// report p50/p90/p99 instead of shipping the raw O(N) slice.
+func PercentileFloats(samples []float64, p float64) float64 {
+	return percentileOf(samples, p)
+}
+
+func percentileOf[T interface{ ~int64 | ~float64 }](samples []T, p float64) T {
 	if len(samples) == 0 {
 		return 0
 	}
-	s := append([]time.Duration(nil), samples...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	s := slices.Clone(samples)
+	slices.Sort(s)
 	rank := p / 100 * float64(len(s)-1)
 	lo := int(rank)
 	if lo >= len(s)-1 {
 		return s[len(s)-1]
 	}
 	frac := rank - float64(lo)
-	return s[lo] + time.Duration(frac*float64(s[lo+1]-s[lo]))
+	return s[lo] + T(frac*float64(s[lo+1]-s[lo]))
 }
 
 // MOS computes the ITU-T G.107 E-model mean opinion score from one-way

@@ -370,6 +370,17 @@ func (s *Sim) Send(pkt *Packet) bool {
 	if s.OnSend != nil {
 		s.OnSend(pkt, arrival)
 	}
+	if entry.remote != nil {
+		// Cross-shard: the full link model has run on this side; park the
+		// packet (by value) in the world's mailbox for the window barrier.
+		// A pooled packet is done with its send the moment it is copied
+		// out, so it recycles here instead of after delivery.
+		entry.remote.w.enqueue(entry.remote, pkt, arrival)
+		if pkt.pooled {
+			s.PutPacket(pkt)
+		}
+		return true
+	}
 	pkt.inflight = true
 	s.scheduleDelivery(arrival, pkt, s.handlers[dst-1])
 	return true

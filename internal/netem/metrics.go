@@ -23,6 +23,7 @@ var mtr struct {
 	dropLoss   *obs.Counter
 	dropQueue  *obs.Counter
 	dropDown   *obs.Counter
+	xshard     *obs.Counter
 	queueDepth *obs.Gauge
 }
 
@@ -35,7 +36,7 @@ func SetMetricsEnabled(on bool) {
 	if !on {
 		mtr.sent, mtr.sentBytes, mtr.delivered = nil, nil, nil
 		mtr.dropLoss, mtr.dropQueue, mtr.dropDown = nil, nil, nil
-		mtr.queueDepth = nil
+		mtr.xshard, mtr.queueDepth = nil, nil
 		return
 	}
 	r := obs.Default()
@@ -45,7 +46,8 @@ func SetMetricsEnabled(on bool) {
 	mtr.dropLoss = r.Counter("netem_drops_loss_total", "packets dropped by random loss")
 	mtr.dropQueue = r.Counter("netem_drops_queue_total", "packets dropped by a full queue, shaper, or transit hook")
 	mtr.dropDown = r.Counter("netem_drops_down_total", "packets dropped on a down link")
-	mtr.queueDepth = r.Gauge("netem_event_queue_depth", "scheduled events in the most recently flushed simulator")
+	mtr.xshard = r.Counter("netem_xshard_packets_total", "packets carried across shard mailboxes in sharded worlds")
+	mtr.queueDepth = r.Gauge("netem_event_queue_depth", "scheduled events: the merged world depth for sharded runs, else the most recently flushed simulator")
 }
 
 // flushEvery is the hot-path batch size: per-Sim counts migrate into the
@@ -76,5 +78,10 @@ func (s *Sim) FlushMetrics() {
 		mtr.delivered.Add(m.delivered)
 		m.delivered = 0
 	}
-	mtr.queueDepth.Set(int64(s.sched.len()))
+	// A shard of a multi-Sim world must not publish its own depth:
+	// last-flush-wins across concurrent shards is meaningless, so the
+	// World sets the merged depth at each barrier instead.
+	if !s.sharded {
+		mtr.queueDepth.Set(int64(s.sched.len()))
+	}
 }

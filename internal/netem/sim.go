@@ -117,10 +117,14 @@ func DefaultScheduler() SchedulerKind { return SchedulerKind(defaultScheduler.Lo
 
 // pathEntry is an installed link plus the interned handle of its
 // lexicographically-smaller endpoint name, which fixes the link's A->B
-// direction (shaper and serialization state are per-direction).
+// direction (shaper and serialization state are per-direction). A non-nil
+// remote marks the local half of a cross-shard link (see World): Send
+// applies the full link model here, then parks the packet in the world's
+// mailbox instead of the local event queue.
 type pathEntry struct {
-	link *Link
-	aEP  Endpoint
+	link   *Link
+	aEP    Endpoint
+	remote *remoteRoute
 }
 
 // packEPs builds the order-insensitive path-map key for a pair of
@@ -165,6 +169,11 @@ type Sim struct {
 
 	// mtrLocal batches this Sim's telemetry; see metrics.go.
 	mtrLocal simMetrics
+
+	// sharded marks a Sim owned by a multi-shard World: the per-Sim
+	// queue-depth gauge is suppressed (the World publishes the merged
+	// depth instead).
+	sharded bool
 
 	// OnSend, when set, observes every admitted packet with its scheduled
 	// arrival time (a pcap-style tap for debugging and tests).
@@ -259,6 +268,37 @@ func (s *Sim) scheduleDelivery(t time.Duration, pkt *Packet, dst *handlerRef) {
 	}
 	e.at, e.seq, e.pkt, e.dst = t, s.seq, pkt, dst
 	s.sched.push(e)
+}
+
+// connectRemote installs the local half of a cross-shard link: the same
+// path entry Connect builds, tagged with the mailbox route. Only World
+// calls this, once per direction with a per-side copy of the link.
+func (s *Sim) connectRemote(a, b string, l *Link, r *remoteRoute) {
+	epA, epB := s.Endpoint(a), s.Endpoint(b)
+	aEP := epA
+	if b < a {
+		aEP = epB
+	}
+	s.paths[packEPs(epA, epB)] = &pathEntry{link: l, aEP: aEP, remote: r}
+	s.lastPath = nil
+}
+
+// inject schedules the delivery of a cross-shard packet that already
+// carries its full arrival time (every delay term was applied by the
+// sending shard). Called by World.exchange at a window barrier, in
+// canonical merge order; arrivals before the shard's clock would mean the
+// lookahead bound was violated, which is a World bug worth crashing on.
+func (s *Sim) inject(at time.Duration, src, dst string, size int, payload any) {
+	if at < s.now {
+		panic(fmt.Sprintf("netem: cross-shard packet for %q arrives at %v before shard time %v (lookahead violation)", dst, at, s.now))
+	}
+	dep := s.Endpoint(dst)
+	pkt := s.GetPacket()
+	pkt.Src, pkt.Dst = src, dst
+	pkt.SrcEP, pkt.DstEP = s.Endpoint(src), dep
+	pkt.Size, pkt.Payload = size, payload
+	pkt.inflight = true
+	s.scheduleDelivery(at, pkt, s.handlers[dep-1])
 }
 
 // release returns a popped delivery event to the free list. Events that

@@ -288,6 +288,22 @@ func Delta(prev, cur map[string]float64) map[string]float64 {
 	return out
 }
 
+// SumSnapshots merges per-shard registry snapshots into one view by
+// summing values key-wise. Counters and histogram aggregates are naturally
+// additive; the gauges the netem layer exports (queue depth) are per-shard
+// quantities whose across-shard total is the meaningful world-level figure,
+// so they sum too. Missing keys count as zero, so shards that never touched
+// a metric don't need a placeholder.
+func SumSnapshots(snaps ...map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range snaps {
+		for k, v := range s {
+			out[k] += v
+		}
+	}
+	return out
+}
+
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4), metrics sorted by name so scrapes diff cleanly.
 func (r *Registry) WritePrometheus(w io.Writer) error {

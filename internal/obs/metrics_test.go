@@ -143,6 +143,30 @@ func TestSnapshotAndDelta(t *testing.T) {
 	}
 }
 
+func TestSumSnapshots(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("pkts_total", "").Add(10)
+	a.Gauge("depth", "").Set(3)
+	b := NewRegistry()
+	b.Counter("pkts_total", "").Add(4)
+	b.Gauge("depth", "").Set(2)
+	b.Counter("only_b_total", "").Add(1)
+
+	sum := SumSnapshots(a.Snapshot(), b.Snapshot())
+	if sum["pkts_total"] != 14 {
+		t.Fatalf("pkts_total = %v, want 14", sum["pkts_total"])
+	}
+	if sum["depth"] != 5 {
+		t.Fatalf("depth = %v, want 5", sum["depth"])
+	}
+	if sum["only_b_total"] != 1 {
+		t.Fatalf("only_b_total = %v, want 1", sum["only_b_total"])
+	}
+	if len(SumSnapshots()) != 0 {
+		t.Fatalf("empty sum not empty")
+	}
+}
+
 func TestConcurrentUpdates(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("n", "")

@@ -56,6 +56,12 @@ type FailoverConfig struct {
 	ShedFor time.Duration
 	// Bin is the goodput sampling interval (default 1 s).
 	Bin time.Duration
+	// Shards is the netem.World shard count (default 1). The failover
+	// world is one fault domain — everything lives on shard 0 and every
+	// shard draws the same seeded stream — so output is byte-identical
+	// for any value (the K-goldens in shard_test.go); the knob exists so
+	// cbbench -shards wires through uniformly.
+	Shards int
 	// Tracer, when set, records the faulted run's protocol events (fault
 	// injections, recoveries, handovers, attach storms, broker lifecycle)
 	// against the simulator clock. Recording never touches the seeded rng
@@ -87,6 +93,9 @@ func (c FailoverConfig) Defaults() FailoverConfig {
 	}
 	if c.Bin == 0 {
 		c.Bin = time.Second
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
 	}
 	return c
 }
@@ -145,9 +154,10 @@ type foWatcher struct {
 // foWorld is the failover world: emulated data plane + in-process
 // control plane, both driven by one simulator clock.
 type foWorld struct {
-	cfg FailoverConfig
-	sim *netem.Sim
-	op  *mobility.Operator
+	cfg   FailoverConfig
+	world *netem.World
+	sim   *netem.Sim // shard 0 of world: the whole fault domain
+	op    *mobility.Operator
 
 	conn      *mptcp.Conn
 	link      *netem.Link
@@ -180,13 +190,15 @@ type foWorld struct {
 }
 
 func newFoWorld(cfg FailoverConfig, res *FailoverResult) (*foWorld, error) {
+	world := netem.NewWorld(cfg.Seed, cfg.Shards)
 	w := &foWorld{
-		cfg:  cfg,
-		sim:  netem.NewSim(cfg.Seed),
-		op:   mobility.NewOperator(cfg.Seed + 1),
-		ueIP: "ft-ip-0",
-		live: true,
-		res:  res,
+		cfg:   cfg,
+		world: world,
+		sim:   world.Shard(0),
+		op:    mobility.NewOperator(cfg.Seed + 1),
+		ueIP:  "ft-ip-0",
+		live:  true,
+		res:   res,
 	}
 	// Trace timestamps are virtual time on this run's simulator clock.
 	cfg.Tracer.SetClock(w.sim.Now)
@@ -527,6 +539,7 @@ func runFailoverOnce(cfg FailoverConfig, sched chaos.Schedule, res *FailoverResu
 	// Goodput measurement; chain onto the iperf delivery tap to feed the
 	// data-plane recovery watchers.
 	ip := apps.NewIperf(w.sim, w.conn, cfg.Bin)
+	ip.Drive = w.world.RunUntil // only the world may advance shard clocks
 	prev := w.conn.OnDeliver
 	w.conn.OnDeliver = func(n int) {
 		prev(n)

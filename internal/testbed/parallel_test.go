@@ -113,11 +113,16 @@ func TestTransportsAndScaleParallelMatchSequential(t *testing.T) {
 		}
 	}
 
+	// Scale parallelizes inside each point (across world shards) instead
+	// of across points; the shard-count equivalent of this golden lives in
+	// shard_test.go.
+	cfg := ScaleConfig{Seed: 17, CellBps: 20e6, Duration: 3 * time.Second}
 	counts := []int{1, 3}
-	ss := RunScaleSweep(17, counts, 20e6, 3*time.Second, Seq)
-	sp := RunScaleSweep(17, counts, 20e6, 3*time.Second, Runner{Workers: 4})
+	ss := RunScaleSweep(cfg, counts)
+	cfg.Shards = 4
+	sp := RunScaleSweep(cfg, counts)
 	if RenderScale(ss) != RenderScale(sp) {
-		t.Fatalf("scale sweep differs\nsequential:\n%s\nparallel:\n%s", RenderScale(ss), RenderScale(sp))
+		t.Fatalf("scale sweep differs\n1 shard:\n%s\n4 shards:\n%s", RenderScale(ss), RenderScale(sp))
 	}
 }
 

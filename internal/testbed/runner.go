@@ -30,14 +30,18 @@ type Runner struct {
 // Seq is the sequential escape hatch, for golden tests and debugging.
 var Seq = Runner{Sequential: true}
 
+// workers resolves the pool size, clamping an explicit Workers to
+// GOMAXPROCS — like netem.ClampShards, oversubscribing cores only adds
+// scheduling overhead, and output never depends on the pool size.
 func (r Runner) workers() int {
 	if r.Sequential {
 		return 1
 	}
-	if r.Workers > 0 {
+	max := runtime.GOMAXPROCS(0)
+	if r.Workers > 0 && r.Workers < max {
 		return r.Workers
 	}
-	return runtime.GOMAXPROCS(0)
+	return max
 }
 
 // ForEach invokes fn(i) for every i in [0, n) across the pool and

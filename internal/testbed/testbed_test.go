@@ -365,7 +365,7 @@ func TestScaleSharedCell(t *testing.T) {
 	// high and capacity is shared roughly fairly.
 	var results []ScaleResult
 	for _, n := range []int{1, 8, 32} {
-		results = append(results, RunScale(17, n, 50e6, 30*time.Second))
+		results = append(results, RunScale(ScaleConfig{Seed: 17, N: n, CellBps: 50e6, Duration: 30 * time.Second}))
 	}
 	for _, r := range results {
 		util := r.TotalBps / r.CellBps
