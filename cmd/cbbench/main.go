@@ -7,6 +7,7 @@
 //	cbbench -exp fig9            # attach-latency factor analysis
 //	cbbench -exp fig10           # day vs night rate limiting
 //	cbbench -exp failover        # fault injection: outage-to-recovery + goodput dip
+//	cbbench -exp byzantine       # Byzantine bTelcos vs quarantine, invariant-checked soak
 //	cbbench -exp all
 //
 // Flags tune the emulated duration, trials and seed; results print the
@@ -115,7 +116,7 @@ func writeTrace(tr *obs.Tracer, path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7|table1|fig8|fig9|fig10|transports|scale|billing|failover|all")
+	exp := flag.String("exp", "all", "experiment: fig7|table1|fig8|fig9|fig10|transports|scale|billing|failover|byzantine|all")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	n := flag.Int("n", 100, "fig7: attach repetitions per cell")
 	dur := flag.Duration("dur", 5*time.Minute, "table1: emulated drive time per cell")
@@ -126,6 +127,12 @@ func main() {
 	scaleN := flag.String("scale-n", "1,4,16,64,1024,10240", "scale: comma-separated UE counts to sweep")
 	faults := flag.String("faults", "flap=2x3s,pause=1x800ms,broker=1x10s,crash=1x6s,corrupt=1x5s@0.05",
 		"failover: fault spec, class=COUNTxDUR[@RATE] comma-separated (classes: flap pause broker crash corrupt trunc)")
+	byzGroups := flag.Int("byz-groups", 4, "byzantine: fault-isolated groups of cells and UEs")
+	byzCells := flag.Int("byz-cells", 2, "byzantine: bTelco cells per group")
+	byzUEs := flag.Int("byz-ues", 6, "byzantine: UEs per group")
+	byzFrac := flag.Float64("byz-frac", 0.25, "byzantine: adversarial fraction of all cells (negative for none)")
+	byzSpec := flag.String("byz-spec", testbed.DefaultByzantineSpec,
+		"byzantine: adversary spec, class=COUNTxDUR[@RATE] (classes: overbill underbill replay blackhole nasdrop hodrop)")
 	jsonOut := flag.Bool("json", false, "append wall time/allocs/metrics to the bench-trajectory file")
 	jsonPath := flag.String("json-file", "", "bench-trajectory file (default BENCH_<date>.json)")
 	label := flag.String("label", "", "label for this run in the bench-trajectory file")
@@ -386,6 +393,58 @@ func main() {
 			return res.Render(), m, nil
 		})
 	}
+	if want("byzantine") {
+		run("byzantine", "Byzantine soak: adversarial bTelcos vs closed-loop quarantine", func() (string, map[string]float64, error) {
+			spec, err := chaos.ParseSpec(*byzSpec)
+			if err != nil {
+				return "", nil, err
+			}
+			// The soak's own 60 s default unless -dur was given explicitly.
+			byzDur := 60 * time.Second
+			if durSet {
+				byzDur = *dur
+			}
+			res, err := testbed.RunByzantine(testbed.ByzantineConfig{
+				Seed:            *seed,
+				Duration:        byzDur,
+				Groups:          *byzGroups,
+				CellsPerGroup:   *byzCells,
+				UEsPerGroup:     *byzUEs,
+				AdversarialFrac: *byzFrac,
+				AdvSpec:         spec,
+				Shards:          effShards,
+				Tracer:          tracer,
+			})
+			if err != nil {
+				return "", nil, err
+			}
+			quarantined := 0
+			for _, c := range res.Cells {
+				if c.Quarantined {
+					quarantined++
+				}
+			}
+			m := map[string]float64{
+				"adversaries":    float64(res.Adversaries),
+				"quarantined":    float64(quarantined),
+				"availability":   res.Availability,
+				"watchdog_trips": float64(res.WatchdogTrips),
+				"kicks":          float64(res.Kicks),
+				"violations":     float64(res.Violations),
+			}
+			if res.Violations > 0 {
+				bad := make([]string, 0, res.Violations)
+				for _, iv := range res.Invariants {
+					if !iv.OK {
+						bad = append(bad, fmt.Sprintf("%s (%s)", iv.Name, iv.Detail))
+					}
+				}
+				return res.Render(), m, fmt.Errorf("byzantine: %d invariant violation(s): %s",
+					res.Violations, strings.Join(bad, "; "))
+			}
+			return res.Render(), m, nil
+		})
+	}
 	if want("fig10") {
 		run("fig10", "Fig. 10 (Appendix A): day vs night rate limiting (downtown)", func() (string, map[string]float64, error) {
 			res := testbed.RunFig10(*seed, 500*time.Second)
@@ -397,7 +456,7 @@ func main() {
 	}
 
 	if !matched {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q: want fig7|table1|fig8|fig9|fig10|transports|scale|billing|failover|all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q: want fig7|table1|fig8|fig9|fig10|transports|scale|billing|failover|byzantine|all\n", *exp)
 		os.Exit(2)
 	}
 

@@ -198,6 +198,96 @@ func TestVerifierRepeatedInflationTanksScore(t *testing.T) {
 	}
 }
 
+func TestVerifierMismatchRingBounded(t *testing.T) {
+	cfg := DefaultVerifierConfig()
+	cfg.MaxMismatches = 8
+	v := NewVerifier(cfg)
+	v.BindSession("sess", "user-1", "telco-1")
+	for seq := uint32(1); seq <= 20; seq++ {
+		v.Ingest(rpt(ReporterUE, seq, 1_000_000, 0))
+		v.Ingest(rpt(ReporterTelco, seq, 3_000_000, 0))
+	}
+	ms := v.Mismatches()
+	if len(ms) != 8 {
+		t.Fatalf("ring holds %d, want 8", len(ms))
+	}
+	if v.MismatchesDropped() != 12 {
+		t.Fatalf("dropped = %d, want 12", v.MismatchesDropped())
+	}
+	// Oldest-first order: the retained window is seqs 13..20.
+	for i, m := range ms {
+		if want := uint32(13 + i); m.Seq != want {
+			t.Fatalf("ms[%d].Seq = %d, want %d", i, m.Seq, want)
+		}
+	}
+	// Reputation bookkeeping is unaffected by eviction.
+	if e := v.TelcoEntry("telco-1"); e.Mismatches != 20 {
+		t.Fatalf("entry.Mismatches = %d, want 20", e.Mismatches)
+	}
+}
+
+func TestVerifierReplayRejected(t *testing.T) {
+	v := mkVerifier()
+	v.Ingest(rpt(ReporterUE, 1, 1_000_000, 0))
+	v.Ingest(rpt(ReporterTelco, 1, 1_000_000, 0))
+	before := v.TelcoScore("telco-1")
+
+	// Exact duplicate of the telco's seq-1 report: replay.
+	m, err := v.Ingest(rpt(ReporterTelco, 1, 1_000_000, 0))
+	if !errors.Is(err, ErrReplayedReport) {
+		t.Fatalf("duplicate report: m=%v err=%v, want ErrReplayedReport", m, err)
+	}
+	if v.Replays() != 1 {
+		t.Fatalf("Replays() = %d, want 1", v.Replays())
+	}
+	if e := v.TelcoEntry("telco-1"); e.Replays != 1 {
+		t.Fatalf("entry.Replays = %d, want 1", e.Replays)
+	}
+	if after := v.TelcoScore("telco-1"); after >= before {
+		t.Fatalf("replay did not hurt score: %.3f -> %.3f", before, after)
+	}
+
+	// A rel-regressed report with a fresh seq is stale too.
+	stale := rpt(ReporterTelco, 5, 1_000_000, 0)
+	stale.Rel = 10 * time.Second // behind seq-1's 30s
+	if _, err := v.Ingest(stale); !errors.Is(err, ErrReplayedReport) {
+		t.Fatalf("rel regression not flagged: %v", err)
+	}
+
+	// Replays must not leave zombie pending pairs: a fresh aligned pair
+	// still checks cleanly.
+	v.Ingest(rpt(ReporterUE, 2, 2_000_000, 0))
+	m, err = v.Ingest(rpt(ReporterTelco, 2, 2_000_000, 0))
+	if err != nil || m != nil {
+		t.Fatalf("fresh pair after replay: m=%v err=%v", m, err)
+	}
+
+	// UE replays are rejected but do not ding the bTelco.
+	e0 := v.TelcoEntry("telco-1").Replays
+	if _, err := v.Ingest(rpt(ReporterUE, 2, 2_000_000, 0)); !errors.Is(err, ErrReplayedReport) {
+		t.Fatalf("UE duplicate not flagged: %v", err)
+	}
+	if e := v.TelcoEntry("telco-1"); e.Replays != e0 {
+		t.Fatalf("UE replay attributed to bTelco: %d -> %d", e0, e.Replays)
+	}
+}
+
+func TestPenalizeMisconduct(t *testing.T) {
+	v := mkVerifier()
+	v.PenalizeMisconduct("telco-1", 1.0)
+	one := v.TelcoScore("telco-1")
+	wantAlpha := 2 * DefaultVerifierConfig().Alpha
+	if want := 1.0 - wantAlpha; one < want-1e-9 || one > want+1e-9 {
+		t.Fatalf("one full misconduct hit: score %.3f, want %.3f", one, want)
+	}
+	// Heavier than a QoS hit of the same degree.
+	v2 := mkVerifier()
+	v2.PenalizeQoS("telco-1", 1.0)
+	if q := v2.TelcoScore("telco-1"); q <= one {
+		t.Fatalf("QoS penalty (%.3f) should be lighter than misconduct (%.3f)", q, one)
+	}
+}
+
 func TestVerifierScoreRecovers(t *testing.T) {
 	v := mkVerifier()
 	v.Ingest(rpt(ReporterUE, 1, 1_000_000, 0))

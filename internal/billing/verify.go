@@ -37,6 +37,12 @@ type VerifierConfig struct {
 	// on the short final report of a session ended by a handover.
 	// Zero selects one MTU (1500), the paper-tight setting.
 	SlackBytes uint64
+	// MaxMismatches bounds the retained mismatch incident log: a broker
+	// facing a chatty adversary must not grow without bound on the
+	// adversary's schedule. Older incidents are dropped (counted by
+	// MismatchesDropped); reputation state is unaffected. Zero selects
+	// 1024.
+	MaxMismatches int
 }
 
 // DefaultVerifierConfig matches the constants used in the experiments.
@@ -55,6 +61,23 @@ type pendingPair struct {
 	telco *Report
 }
 
+// repKey tracks per-(session, reporter) freshness for replay detection.
+type repKey struct {
+	ref string
+	rep Reporter
+}
+
+type freshness struct {
+	seq uint32
+	rel time.Duration
+}
+
+// ErrReplayedReport is returned by Ingest for a stale or duplicated
+// report: its sequence number or relative timestamp regresses against
+// what the same reporter already submitted for the session. The envelope
+// signature still verifies — replay is only detectable here.
+var ErrReplayedReport = fmt.Errorf("billing: replayed or stale report")
+
 // Verifier is the broker-side accounting pipeline: it ingests verified
 // report bodies, aligns UE/bTelco pairs, applies the Fig. 5 discrepancy
 // test, and maintains reputation state.
@@ -70,7 +93,17 @@ type Verifier struct {
 	userMisses map[string]map[string]bool // idU -> set of bTelcos disagreed with
 	suspects   map[string]bool
 
+	// lastSeen drives replay detection: the freshest (seq, rel) each
+	// reporter has submitted per session.
+	lastSeen map[repKey]freshness
+	replays  int
+
+	// mismatches is a bounded ring (capacity cfg.MaxMismatches): mmHead
+	// is the index of the oldest entry once full, mmDropped counts
+	// evicted incidents.
 	mismatches []Mismatch
+	mmHead     int
+	mmDropped  uint64
 	checked    int
 }
 
@@ -79,6 +112,7 @@ type ReputationEntry struct {
 	Score      float64 // EWMA in [0,1]; 1 = spotless
 	Reports    int
 	Mismatches int
+	Replays    int     // replayed/stale reports attributed to this bTelco
 	Penalty    float64 // cumulative weighted degree
 }
 
@@ -92,6 +126,7 @@ func NewVerifier(cfg VerifierConfig) *Verifier {
 		telcoRep:     make(map[string]*ReputationEntry),
 		userMisses:   make(map[string]map[string]bool),
 		suspects:     make(map[string]bool),
+		lastSeen:     make(map[repKey]freshness),
 	}
 }
 
@@ -113,6 +148,28 @@ func (v *Verifier) Ingest(r *Report) (*Mismatch, error) {
 	if _, known := v.sessionTelco[r.SessionRef]; !known {
 		return nil, fmt.Errorf("billing: report for unknown session %q", r.SessionRef)
 	}
+	if r.Reporter != ReporterUE && r.Reporter != ReporterTelco {
+		return nil, fmt.Errorf("billing: bad reporter %d", r.Reporter)
+	}
+	// Replay/staleness gate: a reporter's (seq, rel) must strictly
+	// advance within a session. A signed old envelope sails through
+	// signature checks, so freshness is this layer's job. Replayed
+	// reports never reach pairing (no zombie pending pairs) and count as
+	// misconduct for the bTelco (its meter, its replay — a UE replay is
+	// handled by the suspect machinery via mismatches it causes).
+	fk := repKey{r.SessionRef, r.Reporter}
+	if last, seen := v.lastSeen[fk]; seen && (r.Seq <= last.seq || r.Rel < last.rel) {
+		v.replays++
+		if r.Reporter == ReporterTelco {
+			if rep := v.repEntry(v.sessionTelco[r.SessionRef]); rep != nil {
+				rep.Replays++
+			}
+			v.PenalizeMisconduct(v.sessionTelco[r.SessionRef], 1.0)
+		}
+		return nil, fmt.Errorf("%w: session %q reporter %d seq %d rel %v (last seq %d rel %v)",
+			ErrReplayedReport, r.SessionRef, r.Reporter, r.Seq, r.Rel, last.seq, last.rel)
+	}
+	v.lastSeen[fk] = freshness{seq: r.Seq, rel: r.Rel}
 	k := pairKey{r.SessionRef, r.Seq}
 	p := v.pending[k]
 	if p == nil {
@@ -167,7 +224,7 @@ func (v *Verifier) check(ue, telco *Report) *Mismatch {
 		Threshold:  threshold,
 		Degree:     degree,
 	}
-	v.mismatches = append(v.mismatches, m)
+	v.recordMismatch(m)
 	rep.Mismatches++
 	rep.Penalty += degree
 	// A mismatch contributes a degree-weighted failure to the EWMA: small
@@ -188,6 +245,50 @@ func (v *Verifier) check(ue, telco *Report) *Mismatch {
 		v.suspects[idU] = true
 	}
 	return &m
+}
+
+// repEntry returns (creating if needed) the reputation entry for idT.
+func (v *Verifier) repEntry(idT string) *ReputationEntry {
+	rep := v.telcoRep[idT]
+	if rep == nil {
+		rep = &ReputationEntry{Score: 1}
+		v.telcoRep[idT] = rep
+	}
+	return rep
+}
+
+// recordMismatch appends to the bounded incident ring, evicting the
+// oldest entry once cfg.MaxMismatches is reached.
+func (v *Verifier) recordMismatch(m Mismatch) {
+	max := v.cfg.MaxMismatches
+	if max <= 0 {
+		max = 1024
+	}
+	if len(v.mismatches) < max {
+		v.mismatches = append(v.mismatches, m)
+		return
+	}
+	v.mismatches[v.mmHead] = m
+	v.mmHead = (v.mmHead + 1) % max
+	v.mmDropped++
+}
+
+// PenalizeMisconduct applies a heavy reputation penalty for directly
+// attested misbehavior — a replayed signed report, or UE watchdog
+// evidence of accept-then-blackhole. Unlike an accounting mismatch
+// (which could be honest skew), this evidence is unambiguous, so it
+// weighs double the accounting alpha. degree in (0,1] scales the hit.
+func (v *Verifier) PenalizeMisconduct(idT string, degree float64) {
+	rep := v.repEntry(idT)
+	if degree > 1 {
+		degree = 1
+	}
+	if degree < 0 {
+		degree = 0
+	}
+	alpha := math.Min(1, v.cfg.Alpha*2)
+	rep.Score = rep.Score*(1-alpha) + alpha*(1.0-degree)
+	rep.Penalty += degree
 }
 
 // PenalizeQoS applies a light reputation penalty for a verified
@@ -226,8 +327,25 @@ func (v *Verifier) TelcoEntry(idT string) *ReputationEntry { return v.telcoRep[i
 // Suspect reports whether a user is on the tampering suspect list.
 func (v *Verifier) Suspect(idU string) bool { return v.suspects[idU] }
 
-// Mismatches returns all recorded mismatch incidents.
-func (v *Verifier) Mismatches() []Mismatch { return v.mismatches }
+// Mismatches returns the retained mismatch incidents, oldest first. Once
+// the ring has wrapped, only the newest cfg.MaxMismatches are held (see
+// MismatchesDropped for the evicted count).
+func (v *Verifier) Mismatches() []Mismatch {
+	if v.mmDropped == 0 {
+		return v.mismatches
+	}
+	out := make([]Mismatch, 0, len(v.mismatches))
+	out = append(out, v.mismatches[v.mmHead:]...)
+	out = append(out, v.mismatches[:v.mmHead]...)
+	return out
+}
+
+// MismatchesDropped counts mismatch incidents evicted from the bounded
+// ring.
+func (v *Verifier) MismatchesDropped() uint64 { return v.mmDropped }
+
+// Replays counts replayed/stale reports rejected by the freshness gate.
+func (v *Verifier) Replays() int { return v.replays }
 
 // Checked returns the number of aligned pairs evaluated.
 func (v *Verifier) Checked() int { return v.checked }

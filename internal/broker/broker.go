@@ -71,6 +71,12 @@ type Brokerd struct {
 	policy        sap.Authorizer // optional rule chain (see policy.go)
 	shedHint      time.Duration  // non-zero = degraded: shed attach load
 	shedCount     uint64         // auth requests shed while degraded
+
+	// Dynamic quarantine (see quarantine.go); nil quarCfg = disabled.
+	quarCfg    *QuarantineConfig
+	quarClock  func() time.Duration
+	quar       map[string]*QuarantineEntry
+	quarNotify func(idT string, entered bool, score float64)
 }
 
 // New creates a brokerd.
@@ -126,14 +132,21 @@ func (b *Brokerd) authorize(idU, idT string, terms sap.ServiceTerms) (qos.Params
 	if b.cfg.MaxPricePerGB > 0 && terms.PricePerGB > b.cfg.MaxPricePerGB {
 		return qos.Params{}, fmt.Errorf("price %.2f/GB exceeds limit %.2f", terms.PricePerGB, b.cfg.MaxPricePerGB)
 	}
-	if b.policy != nil {
-		return b.policy.Authorize(idU, idT, terms)
-	}
 	base := b.cfg.BaseQoS
 	if base.QCI == 0 {
 		base = qos.DefaultParams()
 	}
-	return base.Clamp(terms.Cap), nil
+	// The quarantine rule always runs: the hard-block veto applies even
+	// ahead of a custom policy chain (which may additionally include
+	// QuarantineRule for the trial-phase demotion).
+	d := &Decision{IDU: idU, IDT: idT, Terms: terms, QoS: base}
+	if err := b.QuarantineRule()(d); err != nil {
+		return qos.Params{}, err
+	}
+	if b.policy != nil {
+		return b.policy.Authorize(idU, idT, terms)
+	}
+	return d.QoS.Clamp(terms.Cap), nil
 }
 
 // ShedLoad puts the broker in degraded mode: attach authorizations are
@@ -189,6 +202,9 @@ func (b *Brokerd) HandleAuthRequest(req *sap.AuthReqT) (*sap.AuthResp, error) {
 		mtr.attachDenied.Add(1)
 		return nil, err
 	}
+	// Piggyback the requester's current reputation on every reply —
+	// grant or denial — so scores propagate into SAP offers.
+	resp.TelcoScore = b.TelcoScore(req.IDT)
 	mtr.attachGranted.Add(1)
 	if rec != nil {
 		b.mu.Lock()
@@ -257,6 +273,12 @@ func (b *Brokerd) HandleReport(env *billing.SealedReport) (*billing.Mismatch, er
 	if mm != nil {
 		mtr.mismatches.Add(1)
 	}
+	if errors.Is(err, billing.ErrReplayedReport) {
+		mtr.replays.Add(1)
+	}
+	// Any ingest can move the bTelco's reputation (pass, mismatch, or
+	// replay penalty): re-evaluate quarantine while the lock is held.
+	b.reviewTelcoLocked(rec.IDT, mm != nil || errors.Is(err, billing.ErrReplayedReport))
 	return mm, err
 }
 

@@ -15,6 +15,12 @@ var mtr struct {
 	mismatches    *obs.Counter
 	snapshots     *obs.Counter
 	restores      *obs.Counter
+
+	replays          *obs.Counter
+	watchdogEvidence *obs.Counter
+	quarEnter        *obs.Counter
+	quarExit         *obs.Counter
+	quarDenied       *obs.Counter
 }
 
 func init() { SetMetricsEnabled(true) }
@@ -26,6 +32,8 @@ func SetMetricsEnabled(on bool) {
 		mtr.attachGranted, mtr.attachDenied, mtr.attachShed = nil, nil, nil
 		mtr.reports, mtr.mismatches = nil, nil
 		mtr.snapshots, mtr.restores = nil, nil
+		mtr.replays, mtr.watchdogEvidence = nil, nil
+		mtr.quarEnter, mtr.quarExit, mtr.quarDenied = nil, nil, nil
 		return
 	}
 	r := obs.Default()
@@ -36,4 +44,9 @@ func SetMetricsEnabled(on bool) {
 	mtr.mismatches = r.Counter("broker_report_mismatches_total", "billing discrepancy incidents recorded")
 	mtr.snapshots = r.Counter("broker_snapshots_total", "durable-state snapshots taken")
 	mtr.restores = r.Counter("broker_restores_total", "snapshots restored into a broker")
+	mtr.replays = r.Counter("broker_report_replays_total", "replayed/stale billing reports rejected")
+	mtr.watchdogEvidence = r.Counter("broker_watchdog_evidence_total", "UE no-goodput watchdog attestations ingested")
+	mtr.quarEnter = r.Counter("broker_quarantine_enter_total", "bTelco quarantine entries")
+	mtr.quarExit = r.Counter("broker_quarantine_exit_total", "bTelco quarantine full exits")
+	mtr.quarDenied = r.Counter("broker_quarantine_denied_total", "attaches denied because the bTelco is quarantined")
 }

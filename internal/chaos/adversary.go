@@ -1,0 +1,98 @@
+package chaos
+
+import "math/rand"
+
+// Adversary is the live behavior state of one Byzantine bTelco: a bag of
+// toggles flipped by a compiled Schedule (via AdversaryHooks) that the
+// bTelco's metering, NAS, and data paths consult. It carries its own
+// seeded rng so probabilistic behaviors (nasdrop) are deterministic and
+// independent of where the bTelco's shard places it — a requirement of
+// the netem.World byte-identity contract.
+//
+// Adversary is not safe for concurrent use; in the simulator every access
+// happens on the owning shard's event loop, which is single-threaded.
+type Adversary struct {
+	rng *rand.Rand
+
+	overbill  float64 // >0: inflate reported bytes by this fraction
+	underbill float64 // >0: deflate reported bytes by this fraction
+	replay    bool    // re-send previous sealed report
+	blackhole bool    // accept attaches, deliver nothing
+	nasDrop   float64 // probability of dropping incoming NAS
+	hoDrop    bool    // drop handover attach requests
+
+	// Counters of behaviors actually exercised, for experiment tables.
+	MeterLies    int
+	ReplaysSent  int
+	NASDropped   int
+	HandoffDrops int
+}
+
+// NewAdversary builds an adversary with its own deterministic rng.
+func NewAdversary(seed int64) *Adversary {
+	return &Adversary{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Hooks returns chaos Hooks wired to this adversary's toggles, ready to
+// merge into a Schedule.Replay call for the owning bTelco.
+func (a *Adversary) Hooks() Hooks {
+	return Hooks{
+		Overbill:     func(rate float64) { a.overbill = rate },
+		Underbill:    func(rate float64) { a.underbill = rate },
+		ReportReplay: func(on bool) { a.replay = on },
+		Blackhole:    func(on bool) { a.blackhole = on },
+		NASDrop:      func(rate float64) { a.nasDrop = rate },
+		HODrop:       func(on bool) { a.hoDrop = on },
+	}
+}
+
+// MeterBytes distorts a true byte count per the active over/under-billing
+// behavior. Overbilling wins when both are somehow active.
+func (a *Adversary) MeterBytes(b uint64) uint64 {
+	if a == nil {
+		return b
+	}
+	switch {
+	case a.overbill > 0:
+		a.MeterLies++
+		return b + uint64(float64(b)*a.overbill)
+	case a.underbill > 0:
+		a.MeterLies++
+		return b - uint64(float64(b)*a.underbill)
+	}
+	return b
+}
+
+// ReplayReport reports whether the bTelco should re-send its previous
+// sealed report instead of producing a fresh one.
+func (a *Adversary) ReplayReport() bool {
+	if a == nil || !a.replay {
+		return false
+	}
+	a.ReplaysSent++
+	return true
+}
+
+// Blackholing reports whether the data path is currently blackholed.
+func (a *Adversary) Blackholing() bool { return a != nil && a.blackhole }
+
+// DropNAS draws whether to drop an incoming NAS message.
+func (a *Adversary) DropNAS() bool {
+	if a == nil || a.nasDrop <= 0 {
+		return false
+	}
+	if a.rng.Float64() < a.nasDrop {
+		a.NASDropped++
+		return true
+	}
+	return false
+}
+
+// DropHandover reports whether to drop a handover attach request.
+func (a *Adversary) DropHandover(handover bool) bool {
+	if a == nil || !a.hoDrop || !handover {
+		return false
+	}
+	a.HandoffDrops++
+	return true
+}

@@ -40,10 +40,39 @@ const (
 	// KindTrunc truncates transit frames at Rate for the duration.
 	KindTrunc
 
+	// The remaining classes are Byzantine bTelco behaviors rather than
+	// infrastructure faults: the operator stays up and answers the
+	// protocol, but lies or stonewalls. They exist to exercise the
+	// verified-billing and reputation machinery the paper's trust
+	// argument rests on.
+
+	// KindOverbill inflates the bTelco's usage reports by Rate (1.0 =
+	// reports double the true bytes) for the duration.
+	KindOverbill
+	// KindUnderbill deflates the bTelco's usage reports by Rate (0.5 =
+	// reports half the true bytes) — the collusion-with-user case.
+	KindUnderbill
+	// KindReplay makes the bTelco re-send its previous sealed meter
+	// report instead of a fresh one — stale, signed, and detectable only
+	// by sequence/relative-time regression at the verifier.
+	KindReplay
+	// KindBlackhole accepts attaches but delivers no user traffic: the
+	// data path is silently dropped while the control plane stays polite.
+	KindBlackhole
+	// KindNASDrop drops incoming NAS/attach signaling at Rate — the
+	// selective-unavailability adversary.
+	KindNASDrop
+	// KindHODrop drops attach requests that arrive as handovers (the UE
+	// was attached elsewhere and is steering in) — handover blackholing.
+	KindHODrop
+
 	numKinds = iota
 )
 
-var kindNames = [numKinds]string{"flap", "pause", "broker", "crash", "corrupt", "trunc"}
+var kindNames = [numKinds]string{
+	"flap", "pause", "broker", "crash", "corrupt", "trunc",
+	"overbill", "underbill", "replay", "blackhole", "nasdrop", "hodrop",
+}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -101,9 +130,13 @@ type Spec struct {
 //	class=COUNTxDUR[@RATE]
 //
 // e.g. "flap=2x3s,pause=1x800ms,broker=1x20s,corrupt=1x10s@0.05".
-// Classes: flap, pause, broker, crash, corrupt, trunc. RATE (0..1] is only
-// meaningful for corrupt/trunc and defaults to 0.05 there. An empty string
-// is a valid empty spec (the baseline run).
+// Infrastructure classes: flap, pause, broker, crash, corrupt, trunc.
+// Adversary classes: overbill, underbill, replay, blackhole, nasdrop,
+// hodrop. RATE (0..1] is the per-frame probability for corrupt/trunc
+// (default 0.05), the report distortion magnitude for overbill/underbill
+// (defaults 1.0 and 0.5), and the per-message drop probability for
+// nasdrop (default 0.5); it is ignored for the other classes. An empty
+// string is a valid empty spec (the baseline run).
 func ParseSpec(s string) (Spec, error) {
 	var spec Spec
 	s = strings.TrimSpace(s)
@@ -143,8 +176,15 @@ func ParseSpec(s string) (Spec, error) {
 		if err != nil || dur <= 0 {
 			return spec, fmt.Errorf("chaos: %q: bad duration", part)
 		}
-		if rate == 0 && (kind == KindCorrupt || kind == KindTrunc) {
-			rate = 0.05
+		if rate == 0 {
+			switch kind {
+			case KindCorrupt, KindTrunc:
+				rate = 0.05
+			case KindOverbill:
+				rate = 1.0
+			case KindUnderbill, KindNASDrop:
+				rate = 0.5
+			}
 		}
 		c := &spec.Classes[kind]
 		c.Count += count

@@ -25,6 +25,23 @@ type Hooks struct {
 	// FrameFault sets the transit corruption/truncation probabilities;
 	// called with the fault's rates at onset and zeros at the end.
 	FrameFault func(corruptRate, truncRate float64)
+
+	// Adversary behavior hooks (Byzantine bTelco misbehavior). Rate-style
+	// hooks are called with the fault's rate at onset and 0 at the end;
+	// boolean hooks with true/false. A world that hosts no adversary
+	// leaves them nil and adversary faults are skipped like any other.
+
+	// Overbill/Underbill set the report-distortion magnitude.
+	Overbill  func(rate float64)
+	Underbill func(rate float64)
+	// Replay toggles stale-report replaying.
+	ReportReplay func(on bool)
+	// Blackhole toggles accept-then-blackhole on the data path.
+	Blackhole func(on bool)
+	// NASDrop sets the probability of dropping incoming NAS signaling.
+	NASDrop func(rate float64)
+	// HODrop toggles dropping of handover attach requests.
+	HODrop func(on bool)
 }
 
 // Replay schedules every fault in the schedule onto the simulator: the
@@ -72,6 +89,42 @@ func (sc Schedule) Replay(sim *netem.Sim, h Hooks) int {
 			}
 			sim.At(f.At, func() { h.FrameFault(0, f.Rate) })
 			sim.At(f.At+f.Dur, func() { h.FrameFault(0, 0) })
+		case KindOverbill:
+			if h.Overbill == nil {
+				continue
+			}
+			sim.At(f.At, func() { h.Overbill(f.Rate) })
+			sim.At(f.At+f.Dur, func() { h.Overbill(0) })
+		case KindUnderbill:
+			if h.Underbill == nil {
+				continue
+			}
+			sim.At(f.At, func() { h.Underbill(f.Rate) })
+			sim.At(f.At+f.Dur, func() { h.Underbill(0) })
+		case KindReplay:
+			if h.ReportReplay == nil {
+				continue
+			}
+			sim.At(f.At, func() { h.ReportReplay(true) })
+			sim.At(f.At+f.Dur, func() { h.ReportReplay(false) })
+		case KindBlackhole:
+			if h.Blackhole == nil {
+				continue
+			}
+			sim.At(f.At, func() { h.Blackhole(true) })
+			sim.At(f.At+f.Dur, func() { h.Blackhole(false) })
+		case KindNASDrop:
+			if h.NASDrop == nil {
+				continue
+			}
+			sim.At(f.At, func() { h.NASDrop(f.Rate) })
+			sim.At(f.At+f.Dur, func() { h.NASDrop(0) })
+		case KindHODrop:
+			if h.HODrop == nil {
+				continue
+			}
+			sim.At(f.At, func() { h.HODrop(true) })
+			sim.At(f.At+f.Dur, func() { h.HODrop(false) })
 		default:
 			continue
 		}

@@ -175,6 +175,31 @@ func TestSelectEmptyAndSingle(t *testing.T) {
 	}
 }
 
+func TestSelectDropsQuarantined(t *testing.T) {
+	cands := selCands()
+	cands[0].Quarantined = true // best signal, but broker-quarantined
+	got := Select(cands, SignalOnly())
+	if len(got) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, c := range got {
+		if c.Cell.ID == "strong-pricey" {
+			t.Fatal("quarantined cell survived selection")
+		}
+	}
+	if got[0].Cell.ID != "ok-shady" {
+		t.Fatalf("expected next-strongest cell first, got %s", got[0].Cell.ID)
+	}
+	// Quarantine disqualifies even when every cell is marked: the UE
+	// must then fall back to its FSM-level override, not Select.
+	for i := range cands {
+		cands[i].Quarantined = true
+	}
+	if got := Select(cands, SignalOnly()); len(got) != 0 {
+		t.Fatalf("all-quarantined set returned %d candidates", len(got))
+	}
+}
+
 func TestSelectPriceBreaksTie(t *testing.T) {
 	cands := []Candidate{
 		{Cell: Cell{ID: "same-a"}, RSSI: -70, PricePerGB: 3.0, Reputation: 0.9},

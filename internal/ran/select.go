@@ -17,6 +17,10 @@ type Candidate struct {
 	RSSI       float64 // dBm at the UE's position
 	PricePerGB float64 // advertised in the bTelco's terms
 	Reputation float64 // broker's score in [0,1]
+	// Quarantined marks cells whose bTelco the broker has quarantined;
+	// they are disqualified outright regardless of weights — the UE-side
+	// half of the closed trust loop.
+	Quarantined bool
 }
 
 // SelectionPolicy weighs the normalized candidate features. Zero weights
@@ -47,6 +51,9 @@ func ValueAware() SelectionPolicy {
 func Select(cands []Candidate, p SelectionPolicy) []Candidate {
 	var ok []Candidate
 	for _, c := range cands {
+		if c.Quarantined {
+			continue
+		}
 		if c.RSSI < p.MinRSSI {
 			continue
 		}

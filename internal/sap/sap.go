@@ -364,12 +364,17 @@ func UnmarshalAuthRespU(b []byte) (*AuthRespU, error) {
 }
 
 // AuthResp is the broker's reply to the bTelco: grant (both sub-responses)
-// or denial with a cause.
+// or denial with a cause. TelcoScore piggybacks the broker's current
+// reputation for the requesting bTelco on every reply — the score
+// propagation that lets bTelcos price honestly-earned standing into their
+// offers and lets the serving infrastructure steer UEs away from
+// low-reputation operators without a separate lookup.
 type AuthResp struct {
-	Granted bool
-	Cause   string
-	T       AuthRespT
-	U       AuthRespU
+	Granted    bool
+	Cause      string
+	TelcoScore float64
+	T          AuthRespT
+	U          AuthRespU
 }
 
 // Marshal encodes the broker reply for the wire.
@@ -377,6 +382,7 @@ func (m *AuthResp) Marshal() []byte {
 	w := codec.NewWriter(512)
 	w.Bool(m.Granted)
 	w.String(m.Cause)
+	w.Float64(m.TelcoScore)
 	w.Bytes(m.T.Sealed)
 	w.Bytes(m.T.Sig)
 	w.Bytes(m.U.Sealed)
@@ -390,6 +396,7 @@ func UnmarshalAuthResp(b []byte) (*AuthResp, error) {
 	m := &AuthResp{}
 	m.Granted = r.Bool()
 	m.Cause = r.String()
+	m.TelcoScore = r.Float64()
 	m.T.Sealed = r.BytesCopy()
 	m.T.Sig = r.BytesCopy()
 	m.U.Sealed = r.BytesCopy()

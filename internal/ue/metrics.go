@@ -9,10 +9,11 @@ import (
 // atomics that never touch the FSM's rng or the caller's clock, so the
 // seeded experiments stay byte-identical with telemetry on.
 var mtr struct {
-	attempts  *obs.Counter
-	retries   *obs.Counter
-	fallbacks *obs.Counter
-	giveups   *obs.Counter
+	attempts      *obs.Counter
+	retries       *obs.Counter
+	fallbacks     *obs.Counter
+	giveups       *obs.Counter
+	watchdogTrips *obs.Counter
 }
 
 func init() { SetMetricsEnabled(true) }
@@ -22,6 +23,7 @@ func init() { SetMetricsEnabled(true) }
 func SetMetricsEnabled(on bool) {
 	if !on {
 		mtr.attempts, mtr.retries, mtr.fallbacks, mtr.giveups = nil, nil, nil, nil
+		mtr.watchdogTrips = nil
 		return
 	}
 	r := obs.Default()
@@ -29,4 +31,5 @@ func SetMetricsEnabled(on bool) {
 	mtr.retries = r.Counter("ue_attach_retries_total", "attach failures absorbed by the retry FSM")
 	mtr.fallbacks = r.Counter("ue_attach_fallbacks_total", "times the FSM rotated off the serving bTelco")
 	mtr.giveups = r.Counter("ue_attach_giveups_total", "attach budgets exhausted without success")
+	mtr.watchdogTrips = r.Counter("ue_watchdog_trips_total", "no-goodput watchdog trips (blackhole evidence)")
 }

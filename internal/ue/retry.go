@@ -92,6 +92,7 @@ type AttachFSM struct {
 	attempt    int // failures so far
 	cand       int
 	fallbacks  int
+	avoid      func(int) bool // candidates the rotation steers around
 }
 
 // NewAttachFSM builds a machine over `candidates` bTelcos (the serving one
@@ -105,6 +106,33 @@ func NewAttachFSM(pol RetryPolicy, candidates int, rng *rand.Rand) *AttachFSM {
 
 // Candidate returns the index of the bTelco to try next.
 func (m *AttachFSM) Candidate() int { return m.cand }
+
+// SetAvoid installs a live candidate filter — typically "the broker has
+// quarantined this bTelco" — that the rotation steers around: Fail skips
+// avoided candidates, and the current candidate moves off an avoided
+// index immediately. When every candidate is avoided the filter is
+// ignored (attaching through a quarantined cell beats no service — the
+// broker still decides admission). A nil filter clears it.
+func (m *AttachFSM) SetAvoid(avoid func(int) bool) {
+	m.avoid = avoid
+	m.cand = m.nextAllowed(m.cand)
+}
+
+// nextAllowed returns the first non-avoided candidate at or after start
+// (cyclic), or start itself when the filter rejects everything.
+func (m *AttachFSM) nextAllowed(start int) int {
+	if m.avoid == nil {
+		return start
+	}
+	i := start
+	for n := 0; n < m.candidates; n++ {
+		if !m.avoid(i) {
+			return i
+		}
+		i = (i + 1) % m.candidates
+	}
+	return start
+}
 
 // Attempts reports how many failures the machine has absorbed.
 func (m *AttachFSM) Attempts() int { return m.attempt }
@@ -125,7 +153,7 @@ func (m *AttachFSM) Fail(err error) (delay time.Duration, giveUp bool) {
 		return 0, true
 	}
 	prev := m.cand
-	m.cand = (m.cand + 1) % m.candidates
+	m.cand = m.nextAllowed((m.cand + 1) % m.candidates)
 	if prev == 0 && m.cand != 0 {
 		m.fallbacks++
 		mtr.fallbacks.Add(1)

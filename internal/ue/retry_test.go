@@ -34,6 +34,74 @@ func TestFSMRotatesCandidates(t *testing.T) {
 	}
 }
 
+var errFail = errors.New("attach failed")
+
+func TestFSMAvoidSteersRotation(t *testing.T) {
+	m := NewAttachFSM(RetryPolicy{}, 4, nil)
+	quarantined := map[int]bool{1: true, 2: true}
+	m.SetAvoid(func(i int) bool { return quarantined[i] })
+	if m.Candidate() != 0 {
+		t.Fatalf("start candidate = %d, want 0", m.Candidate())
+	}
+	// Rotation must skip 1 and 2 straight to 3.
+	m.Fail(errFail)
+	if m.Candidate() != 3 {
+		t.Fatalf("after fail: candidate = %d, want 3", m.Candidate())
+	}
+	m.Fail(errFail)
+	if m.Candidate() != 0 {
+		t.Fatalf("wrap: candidate = %d, want 0", m.Candidate())
+	}
+	// An avoided current candidate moves off immediately.
+	quarantined[0] = true
+	m.SetAvoid(func(i int) bool { return quarantined[i] })
+	if m.Candidate() != 3 {
+		t.Fatalf("SetAvoid did not move off avoided candidate: %d", m.Candidate())
+	}
+	// All avoided: filter is ignored rather than stranding the UE.
+	quarantined[3] = true
+	m.SetAvoid(func(i int) bool { return quarantined[i] })
+	before := m.Candidate()
+	m.Fail(errFail)
+	if m.Candidate() != (before+1)%4 {
+		t.Fatalf("all-avoided rotation broke: %d -> %d", before, m.Candidate())
+	}
+}
+
+func TestWatchdogTripsOnStall(t *testing.T) {
+	w := NewWatchdog(4 * time.Second)
+	w.Arm(0, 0)
+	if w.Observe(1*time.Second, 100) {
+		t.Fatal("tripped while progressing")
+	}
+	if w.Observe(3*time.Second, 100) {
+		t.Fatal("tripped before the window elapsed")
+	}
+	if !w.Observe(5*time.Second, 100) {
+		t.Fatal("did not trip after a full stalled window")
+	}
+	if w.Armed() {
+		t.Fatal("still armed after trip")
+	}
+	if w.Observe(20*time.Second, 100) {
+		t.Fatal("disarmed watchdog observed a trip")
+	}
+	if w.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", w.Trips())
+	}
+	// Re-armed after a re-attach: progress resets the window.
+	w.Arm(20*time.Second, 100)
+	if w.Observe(23*time.Second, 200) {
+		t.Fatal("tripped despite fresh progress")
+	}
+	if w.Observe(26*time.Second, 200) {
+		t.Fatal("window must restart from last progress")
+	}
+	if !w.Observe(27*time.Second+time.Millisecond, 200) {
+		t.Fatal("did not trip a window after last progress")
+	}
+}
+
 func TestFSMBudgetExhaustion(t *testing.T) {
 	m := NewAttachFSM(RetryPolicy{MaxAttempts: 3}, 2, nil)
 	if _, giveUp := m.Fail(errors.New("a")); giveUp {

@@ -250,6 +250,64 @@ func TestCallRecoversFromTruncatedWrite(t *testing.T) {
 	}
 }
 
+func TestCallSurvivesAdversarialNASDropAndTruncation(t *testing.T) {
+	// The byzantine bTelco's NAS treatment as seen from the wire: the
+	// server silently swallows the first two NAS requests (replying only
+	// long after the client's deadline), and the first redial lands on a
+	// conn that truncates its write mid-frame. The client must break the
+	// stalled conn, break the poisoned conn, and still complete the call —
+	// never desync into reading a stale late reply as the answer to a new
+	// request.
+	var calls atomic.Int64
+	s, err := NewServer("127.0.0.1:0", func(mt byte, p []byte) (byte, []byte, error) {
+		if mt == TypeNAS && calls.Add(1) <= 2 {
+			time.Sleep(300 * time.Millisecond) // well past CallTimeout: a drop
+		}
+		return TypeNASReply, p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var dials atomic.Int64
+	c, err := DialOptions(s.Addr(), Options{
+		MaxRetries:   6,
+		RetryBackoff: time.Millisecond,
+		CallTimeout:  50 * time.Millisecond,
+		Dialer: func(addr string) (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			if dials.Add(1) == 2 {
+				return chaos.NewFaultyConn(conn, 11, 0, 1.0), nil
+			}
+			return conn, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rt, reply, err := c.Call(TypeNAS, []byte("attach req"))
+	if err != nil {
+		t.Fatalf("Call through drop+truncation storm: %v", err)
+	}
+	if rt != TypeNASReply || string(reply) != "attach req" {
+		t.Fatalf("reply = %d %q, want echoed attach req", rt, reply)
+	}
+	st := c.Stats()
+	if st.Broken < 2 || st.Redials < 2 {
+		t.Fatalf("expected >=2 broken conns and >=2 redials through the storm, stats %+v", st)
+	}
+	// A fresh call on the healed client must work first try.
+	if _, _, err := c.Call(TypeNAS, []byte("steady")); err != nil {
+		t.Fatalf("steady-state call after storm: %v", err)
+	}
+}
+
 func TestCallTimeoutBreaksConn(t *testing.T) {
 	block := make(chan struct{})
 	s, err := NewServer("127.0.0.1:0", func(mt byte, p []byte) (byte, []byte, error) {
