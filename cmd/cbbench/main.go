@@ -99,20 +99,39 @@ func appendBenchRun(path string, run benchRun) error {
 // writeTrace renders the recorded trace: Chrome trace-event JSON (open in
 // Perfetto or chrome://tracing) by default, JSON lines when the path ends
 // in .jsonl.
-func writeTrace(tr *obs.Tracer, path string) error {
+func writeTrace(events []obs.TraceEvent, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	if strings.HasSuffix(path, ".jsonl") {
-		err = tr.WriteJSONL(f)
+		err = obs.WriteJSONLEvents(f, events)
 	} else {
-		err = tr.WriteChromeTrace(f)
+		err = obs.WriteChromeTraceEvents(f, events)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// writeTimelines folds the trace into per-session timelines: deterministic
+// text by default, JSON when the path ends in .json.
+func writeTimelines(events []obs.TraceEvent, path string) (int, error) {
+	tls := obs.BuildTimelines(events)
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = obs.WriteTimelinesJSON(f, tls)
+	} else {
+		err = obs.RenderTimelines(f, tls)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return len(tls), err
 }
 
 func main() {
@@ -137,6 +156,10 @@ func main() {
 	jsonPath := flag.String("json-file", "", "bench-trajectory file (default BENCH_<date>.json)")
 	label := flag.String("label", "", "label for this run in the bench-trajectory file")
 	traceOut := flag.String("trace-out", "", "write the failover protocol trace to this file (Chrome trace-event JSON; .jsonl suffix for JSON lines)")
+	timelineOut := flag.String("timeline-out", "", "write per-session attach timelines folded from the trace to this file (deterministic text; .json suffix for JSON)")
+	traceSession := flag.String("trace-session", "", "restrict -trace-out/-timeline-out to one trace ID (16 hex digits, as printed in timeline headers)")
+	flightOut := flag.String("flight-out", "", "write the flight-recorder ring (recent trace events per component) to this file; always written on a failing exit (default cbbench-flight.txt)")
+	byzNoSLO := flag.Bool("byz-no-slo", false, "byzantine: disable the SLO-breach quarantine signal (the SLO engine still evaluates and renders margins)")
 	sched := flag.String("sched", "wheel", "netem event scheduler: wheel|heap (output is identical; heap is the reference for A/B determinism checks)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile per experiment to <prefix>.<exp>.cpu.pprof")
 	memProfile := flag.String("memprofile", "", "write a heap profile per experiment to <prefix>.<exp>.mem.pprof")
@@ -153,9 +176,33 @@ func main() {
 		os.Exit(2)
 	}
 
-	var tracer *obs.Tracer
-	if *traceOut != "" {
-		tracer = obs.NewTracer(nil) // rebound to the faulted run's sim clock
+	// The tracer is always armed so the flight recorder has a feed; the
+	// full event log is retained only when something will consume it.
+	// Recording is observation-only — traced and untraced runs render
+	// byte-identically (tested), so an always-on tracer is safe.
+	tracer := obs.NewTracer(nil) // rebound to each run's sim clock
+	tracer.SetRetain(*traceOut != "" || *timelineOut != "" || *traceSession != "")
+	flight := obs.NewFlightRecorder(64)
+	tracer.SetFlight(flight)
+	dumpFlight := func() {
+		path := *flightOut
+		if path == "" {
+			path = "cbbench-flight.txt"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flight dump: %v\n", err)
+			return
+		}
+		err = flight.WriteDump(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flight dump: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "flight recorder: %d recent events dumped to %s\n", flight.Len(), path)
 	}
 
 	runner := testbed.Runner{Workers: *workers, Sequential: *seq}
@@ -225,6 +272,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			dumpFlight()
 			os.Exit(1)
 		}
 		fmt.Print(out)
@@ -405,15 +453,16 @@ func main() {
 				byzDur = *dur
 			}
 			res, err := testbed.RunByzantine(testbed.ByzantineConfig{
-				Seed:            *seed,
-				Duration:        byzDur,
-				Groups:          *byzGroups,
-				CellsPerGroup:   *byzCells,
-				UEsPerGroup:     *byzUEs,
-				AdversarialFrac: *byzFrac,
-				AdvSpec:         spec,
-				Shards:          effShards,
-				Tracer:          tracer,
+				Seed:             *seed,
+				Duration:         byzDur,
+				Groups:           *byzGroups,
+				CellsPerGroup:    *byzCells,
+				UEsPerGroup:      *byzUEs,
+				AdversarialFrac:  *byzFrac,
+				AdvSpec:          spec,
+				Shards:           effShards,
+				Tracer:           tracer,
+				DisableSLOSignal: *byzNoSLO,
 			})
 			if err != nil {
 				return "", nil, err
@@ -460,12 +509,34 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *traceOut != "" {
-		if err := writeTrace(tracer, *traceOut); err != nil {
-			fmt.Fprintf(os.Stderr, "trace file: %v\n", err)
-			os.Exit(1)
+	if *traceOut != "" || *timelineOut != "" {
+		events := tracer.Events()
+		if *traceSession != "" {
+			id, err := obs.ParseTraceID(*traceSession)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace-session: %v\n", err)
+				os.Exit(2)
+			}
+			events = obs.FilterTrace(events, id)
 		}
-		fmt.Printf("wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+		if *traceOut != "" {
+			if err := writeTrace(events, *traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "trace file: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d trace events to %s\n", len(events), *traceOut)
+		}
+		if *timelineOut != "" {
+			n, err := writeTimelines(events, *timelineOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "timeline file: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d session timelines to %s\n", n, *timelineOut)
+		}
+	}
+	if *flightOut != "" {
+		dumpFlight()
 	}
 
 	if *jsonOut {

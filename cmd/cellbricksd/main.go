@@ -20,7 +20,9 @@
 //
 // Observability: -debug-addr serves Prometheus text metrics (/metrics),
 // expvar (/debug/vars), and pprof (/debug/pprof/) for whatever role is
-// running; -v raises logging to debug level (wire retries, redials).
+// running; -v raises logging to debug level (wire retries, redials);
+// -trace-out (demo role) records the attach's causal span tree to a
+// Chrome-trace or JSON-lines file.
 //
 // The demo CA/keys make the roles interoperable without a key-exchange
 // step; a production deployment would provision real keys (see DESIGN.md).
@@ -88,6 +90,7 @@ func main() {
 	btelcoAddr := flag.String("btelco-addr", "127.0.0.1:7800", "bTelco NAS address (ue role)")
 	telcoID := flag.String("telco-id", "btelco-demo", "bTelco identity (btelco, ue roles)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9090, :0 for ephemeral)")
+	traceOut := flag.String("trace-out", "", "demo role: write the attach span tree to this file (.jsonl = JSON-lines, else Chrome trace)")
 	verbose := flag.Bool("v", false, "enable debug-level logging (wire retries, redials)")
 	flag.Parse()
 	obs.Verbose(*verbose)
@@ -111,7 +114,7 @@ func main() {
 	case "ue":
 		runUE(*btelcoAddr, *telcoID)
 	case "demo":
-		runDemo(debugging)
+		runDemo(debugging, *traceOut)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
 		os.Exit(2)
@@ -205,8 +208,17 @@ func runUE(btelcoAddr, telcoID string) {
 	obs.Infof(logSub, "detached cleanly")
 }
 
-func runDemo(stayUp bool) {
-	d, err := testbed.NewRealDeployment()
+func runDemo(stayUp bool, traceOut string) {
+	// With -trace-out, the whole demo deployment is traced: the UE roots
+	// a span, the context rides the NAS envelope and wire frames, and
+	// every component's spans land in one parented tree.
+	var tracer *obs.Tracer
+	var ids *obs.SpanIDSource
+	if traceOut != "" {
+		tracer = obs.NewTracer(nil)
+		ids = obs.NewSpanIDSource(1)
+	}
+	d, err := testbed.NewRealDeploymentTraced(tracer, ids)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -217,6 +229,9 @@ func runDemo(stayUp bool) {
 	dev, tx, err := d.NewCellBricksUE()
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if tracer != nil {
+		dev.TraceAttach(tracer, ids, ids.NewTrace())
 	}
 	a, err := dev.AttachSAP(tx, d.TelcoID())
 	if err != nil {
@@ -259,6 +274,25 @@ func runDemo(stayUp bool) {
 		fatalf("%v", err)
 	}
 	obs.Infof(logSub, "demo complete")
+
+	if tracer != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(traceOut) > 6 && traceOut[len(traceOut)-6:] == ".jsonl" {
+			err = tracer.WriteJSONL(f)
+		} else {
+			err = tracer.WriteChromeTrace(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatalf("trace: %v", err)
+		}
+		obs.Infof(logSub, "wrote %d trace events to %s", tracer.Len(), traceOut)
+	}
 
 	// With a debug server running, keep the demo's populated metrics
 	// scrapeable until interrupted.

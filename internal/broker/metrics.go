@@ -18,6 +18,7 @@ var mtr struct {
 
 	replays          *obs.Counter
 	watchdogEvidence *obs.Counter
+	sloEvidence      *obs.Counter
 	quarEnter        *obs.Counter
 	quarExit         *obs.Counter
 	quarDenied       *obs.Counter
@@ -32,7 +33,7 @@ func SetMetricsEnabled(on bool) {
 		mtr.attachGranted, mtr.attachDenied, mtr.attachShed = nil, nil, nil
 		mtr.reports, mtr.mismatches = nil, nil
 		mtr.snapshots, mtr.restores = nil, nil
-		mtr.replays, mtr.watchdogEvidence = nil, nil
+		mtr.replays, mtr.watchdogEvidence, mtr.sloEvidence = nil, nil, nil
 		mtr.quarEnter, mtr.quarExit, mtr.quarDenied = nil, nil, nil
 		return
 	}
@@ -46,6 +47,7 @@ func SetMetricsEnabled(on bool) {
 	mtr.restores = r.Counter("broker_restores_total", "snapshots restored into a broker")
 	mtr.replays = r.Counter("broker_report_replays_total", "replayed/stale billing reports rejected")
 	mtr.watchdogEvidence = r.Counter("broker_watchdog_evidence_total", "UE no-goodput watchdog attestations ingested")
+	mtr.sloEvidence = r.Counter("broker_slo_evidence_total", "SLO breach-enter signals ingested as misconduct evidence")
 	mtr.quarEnter = r.Counter("broker_quarantine_enter_total", "bTelco quarantine entries")
 	mtr.quarExit = r.Counter("broker_quarantine_exit_total", "bTelco quarantine full exits")
 	mtr.quarDenied = r.Counter("broker_quarantine_denied_total", "attaches denied because the bTelco is quarantined")

@@ -123,6 +123,22 @@ func (b *Brokerd) ReportWatchdog(idT string, degree float64) float64 {
 	return b.verifier.TelcoScore(idT)
 }
 
+// ReportSLOBreach ingests an SLO breach-enter signal against a bTelco: a
+// windowed objective the broker (or its serving infrastructure) evaluates
+// over verified evidence — e.g. per-cell overbilling ratio — crossed into
+// breach. Like watchdog evidence it is penalized and immediately reviewed
+// against the quarantine thresholds; unlike raw mismatch evidence it is a
+// *rate* signal, so callers scale degree by how deep the breach is. It
+// returns the bTelco's resulting score.
+func (b *Brokerd) ReportSLOBreach(idT string, degree float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	mtr.sloEvidence.Add(1)
+	b.verifier.PenalizeMisconduct(idT, degree)
+	b.reviewTelcoLocked(idT, true)
+	return b.verifier.TelcoScore(idT)
+}
+
 // QuarantineRule is the quarantine decision as a live policy.Rule: it
 // vetoes hard-blocked bTelcos and demotes trial-phase bTelcos to the
 // configured TrialQoS. The broker's built-in authorize path always runs

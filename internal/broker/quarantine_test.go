@@ -189,3 +189,33 @@ func TestQuarantineRuleInCustomChain(t *testing.T) {
 		t.Fatalf("chain did not veto: granted=%v cause=%q", resp.Granted, resp.Cause)
 	}
 }
+
+// TestSLOBreachEvidence: SLO breach-enter signals are misconduct evidence
+// on the same footing as watchdog attestations — penalized, reviewed
+// against the quarantine thresholds, and score-returned.
+func TestSLOBreachEvidence(t *testing.T) {
+	h := newHarness(t)
+	h.brk.EnableQuarantine(QuarantineConfig{EnterBelow: 0.7, Probation: time.Minute}, nil)
+
+	score := h.brk.ReportSLOBreach("h-telco", 1.0)
+	if score >= 1.0 {
+		t.Fatalf("first breach did not penalize: %.3f", score)
+	}
+	if h.brk.Quarantined("h-telco") {
+		t.Fatal("quarantined after a single breach signal")
+	}
+	score = h.brk.ReportSLOBreach("h-telco", 1.0)
+	if score >= 0.7 {
+		t.Fatalf("score %.3f, want < 0.7", score)
+	}
+	if !h.brk.Quarantined("h-telco") {
+		t.Fatal("repeated SLO breaches must quarantine")
+	}
+	resp, err := h.tryAttach(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Granted || !strings.Contains(resp.Cause, "quarantined") {
+		t.Fatalf("breach-quarantined attach: granted=%v cause=%q", resp.Granted, resp.Cause)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cellbricks/internal/billing"
+	"cellbricks/internal/obs"
 	"cellbricks/internal/sap"
 	"cellbricks/internal/wire"
 )
@@ -13,12 +14,22 @@ import (
 type Server struct {
 	B   *Brokerd
 	srv *wire.Server
+
+	tr  *obs.Tracer
+	ids *obs.SpanIDSource
 }
 
 // Serve starts the broker's wire server on addr.
 func Serve(b *Brokerd, addr string) (*Server, error) {
-	s := &Server{B: b}
-	srv, err := wire.NewServer(addr, s.handle)
+	return ServeTraced(b, addr, nil, nil)
+}
+
+// ServeTraced starts the broker's wire server with causal tracing: requests
+// whose frame header carries a span context get a broker-side child span.
+// tr/ids may be nil, in which case this is identical to Serve.
+func ServeTraced(b *Brokerd, addr string, tr *obs.Tracer, ids *obs.SpanIDSource) (*Server, error) {
+	s := &Server{B: b, tr: tr, ids: ids}
+	srv, err := wire.NewServerCtx(addr, s.handle)
 	if err != nil {
 		return nil, err
 	}
@@ -32,15 +43,34 @@ func (s *Server) Addr() string { return s.srv.Addr() }
 // Close shuts the server down.
 func (s *Server) Close() error { return s.srv.Close() }
 
-func (s *Server) handle(msgType byte, payload []byte) (byte, []byte, error) {
+// span records a broker-side span for a traced request, bracketing f.
+func (s *Server) span(sc obs.SpanContext, name string, f func() error) error {
+	if !sc.Valid() || s.tr == nil || s.ids == nil {
+		return f()
+	}
+	start := s.tr.Now()
+	err := f()
+	args := map[string]string(nil)
+	if err != nil {
+		args = map[string]string{"error": err.Error()}
+	}
+	s.tr.SpanCtx(sc.Child(s.ids.Next()), "broker", name, start, s.tr.Now()-start, args)
+	return err
+}
+
+func (s *Server) handle(sc obs.SpanContext, msgType byte, payload []byte) (byte, []byte, error) {
 	switch msgType {
 	case wire.TypeSAPAuthRequest:
 		req, err := sap.UnmarshalAuthReqT(payload)
 		if err != nil {
 			return 0, nil, err
 		}
-		resp, err := s.B.HandleAuthRequest(req)
-		if err != nil {
+		var resp *sap.AuthResp
+		if err := s.span(sc, "handle-auth", func() error {
+			var e error
+			resp, e = s.B.HandleAuthRequest(req)
+			return e
+		}); err != nil {
 			return 0, nil, err
 		}
 		return wire.TypeSAPAuthResponse, resp.Marshal(), nil
@@ -49,7 +79,10 @@ func (s *Server) handle(msgType byte, payload []byte) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		if _, err := s.B.HandleReport(env); err != nil {
+		if err := s.span(sc, "ingest-report", func() error {
+			_, e := s.B.HandleReport(env)
+			return e
+		}); err != nil {
 			return 0, nil, err
 		}
 		return wire.TypeReportAck, nil, nil
@@ -73,7 +106,13 @@ func DialClient(addr string) (*Client, error) {
 
 // Authenticate implements the SAP round trip.
 func (c *Client) Authenticate(req *sap.AuthReqT) (*sap.AuthResp, error) {
-	_, reply, err := c.C.Call(wire.TypeSAPAuthRequest, req.Marshal())
+	return c.AuthenticateCtx(obs.SpanContext{}, req)
+}
+
+// AuthenticateCtx is Authenticate with a span context propagated in the
+// frame header (implements epc.BrokerClientCtx).
+func (c *Client) AuthenticateCtx(sc obs.SpanContext, req *sap.AuthReqT) (*sap.AuthResp, error) {
+	_, reply, err := c.C.CallCtx(wire.TypeSAPAuthRequest, sc, req.Marshal())
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +121,12 @@ func (c *Client) Authenticate(req *sap.AuthReqT) (*sap.AuthResp, error) {
 
 // UploadReport delivers one sealed traffic report.
 func (c *Client) UploadReport(env *billing.SealedReport) error {
-	_, _, err := c.C.Call(wire.TypeReportUpload, env.Marshal())
+	return c.UploadReportCtx(obs.SpanContext{}, env)
+}
+
+// UploadReportCtx is UploadReport with a span context in the frame header.
+func (c *Client) UploadReportCtx(sc obs.SpanContext, env *billing.SealedReport) error {
+	_, _, err := c.C.CallCtx(wire.TypeReportUpload, sc, env.Marshal())
 	return err
 }
 

@@ -10,6 +10,7 @@ import (
 	"cellbricks/internal/aka"
 	"cellbricks/internal/billing"
 	"cellbricks/internal/nas"
+	"cellbricks/internal/obs"
 	"cellbricks/internal/pki"
 	"cellbricks/internal/qos"
 	"cellbricks/internal/sap"
@@ -27,6 +28,13 @@ type SubscriberClient interface {
 // trip to the user's broker.
 type BrokerClient interface {
 	Authenticate(req *sap.AuthReqT) (*sap.AuthResp, error)
+}
+
+// BrokerClientCtx is an optional extension of BrokerClient: clients that
+// implement it receive the attach's span context so the broker hop joins
+// the causal trace (over the wire, the context rides in the frame header).
+type BrokerClientCtx interface {
+	AuthenticateCtx(sc obs.SpanContext, req *sap.AuthReqT) (*sap.AuthResp, error)
 }
 
 // BrokerDirectory resolves a broker identifier (from the UE's authReqU) to
@@ -77,6 +85,11 @@ type AGWConfig struct {
 	// Intercept receives mirrored user-plane events for LI-flagged
 	// sessions. Nil disables interception even when a grant requests it.
 	Intercept func(InterceptRecord)
+	// Tracer, with TraceIDs, enables causal tracing: SAP attaches whose
+	// envelope carries a span context get per-step child spans.
+	Tracer *obs.Tracer
+	// TraceIDs mints span IDs deterministically from the sim seed.
+	TraceIDs *obs.SpanIDSource
 }
 
 // SessionKind distinguishes the two attach flows.
@@ -195,15 +208,15 @@ var (
 )
 
 // HandleNAS processes one uplink NAS message from the RAN identified by
-// ranID and returns the downlink reply. The envelope byte distinguishes
-// plain (0) from security-protected (1) transport.
+// ranID and returns the downlink reply. The envelope flag byte
+// distinguishes plain from security-protected transport and may carry a
+// span context (see nas.SplitEnvelope).
 func (g *AGW) HandleNAS(ranID string, envelope []byte) ([]byte, error) {
 	mtr.nasMessages.Add(1)
-	if len(envelope) == 0 {
+	protected, sc, body, err := nas.SplitEnvelope(envelope)
+	if err != nil {
 		return nil, nas.ErrTooShort
 	}
-	protected := envelope[0] == 1
-	body := envelope[1:]
 
 	g.mu.Lock()
 	sess := g.byRAN[ranID]
@@ -241,7 +254,7 @@ func (g *AGW) HandleNAS(ranID string, envelope []byte) ([]byte, error) {
 		}
 		return g.handleSMCComplete(sess)
 	case *nas.AttachRequestSAP:
-		return g.handleSAPAttach(ranID, m)
+		return g.handleSAPAttach(ranID, m, sc)
 	case *nas.SessionRequest:
 		if !protected {
 			return nil, ErrProtectedRequired
@@ -383,19 +396,48 @@ func (g *AGW) handleSMCComplete(sess *Session) ([]byte, error) {
 
 // --- CellBricks SAP attach: one broker round trip ---
 
-func (g *AGW) handleSAPAttach(ranID string, m *nas.AttachRequestSAP) ([]byte, error) {
+func (g *AGW) handleSAPAttach(ranID string, m *nas.AttachRequestSAP, sc obs.SpanContext) ([]byte, error) {
 	if g.cfg.Telco == nil || g.cfg.Brokers == nil {
 		return nil, ErrFlowDisabled
+	}
+	// When the envelope carried a span context and this AGW has a tracer,
+	// each SAP step below records a child span under an overall epc/attach
+	// span parented to the UE's request. step is a no-op when untraced.
+	tr, ids := g.cfg.Tracer, g.cfg.TraceIDs
+	traced := sc.Valid() && tr != nil && ids != nil
+	var epcCtx obs.SpanContext
+	if traced {
+		epcCtx = sc.Child(ids.Next())
+		epcStart := tr.Now()
+		defer func() {
+			tr.SpanCtx(epcCtx, "epc", "attach", epcStart, tr.Now()-epcStart,
+				map[string]string{"ran": ranID, "broker": m.BrokerID})
+		}()
+	}
+	step := func(cat, name string, f func() error) error {
+		if !traced {
+			return f()
+		}
+		start := tr.Now()
+		err := f()
+		args := map[string]string(nil)
+		if err != nil {
+			args = map[string]string{"error": err.Error()}
+		}
+		tr.SpanCtx(epcCtx.Child(ids.Next()), cat, name, start, tr.Now()-start, args)
+		return err
 	}
 	reqU, err := sap.UnmarshalAuthReqU(m.AuthReqU)
 	if err != nil {
 		return nil, err
 	}
 	var reqT *sap.AuthReqT
-	if err := g.cfg.Instrument(ModuleAGW, func() error {
-		var e error
-		reqT, e = g.cfg.Telco.ForwardRequest(reqU)
-		return e
+	if err := step("sap", "forward-request", func() error {
+		return g.cfg.Instrument(ModuleAGW, func() error {
+			var e error
+			reqT, e = g.cfg.Telco.ForwardRequest(reqU)
+			return e
+		})
 	}); err != nil {
 		return nil, err
 	}
@@ -404,19 +446,27 @@ func (g *AGW) handleSAPAttach(ranID string, m *nas.AttachRequestSAP) ([]byte, er
 		return g.reject("unknown broker: " + m.BrokerID), nil
 	}
 	var resp *sap.AuthResp
-	if err := g.cfg.Instrument(ModuleBrokerd, func() error {
-		var e error
-		resp, e = client.Authenticate(reqT)
-		return e
+	if err := step("broker", "authenticate", func() error {
+		return g.cfg.Instrument(ModuleBrokerd, func() error {
+			var e error
+			if cc, ok := client.(BrokerClientCtx); ok && traced {
+				resp, e = cc.AuthenticateCtx(epcCtx, reqT)
+			} else {
+				resp, e = client.Authenticate(reqT)
+			}
+			return e
+		})
 	}); err != nil {
 		return g.rejectErr(err), nil
 	}
 	var grant *sap.Grant
 	var respU *sap.AuthRespU
-	if err := g.cfg.Instrument(ModuleAGW, func() error {
-		var e error
-		grant, respU, e = g.cfg.Telco.HandleResponse(brokerPub, resp)
-		return e
+	if err := step("sap", "handle-response", func() error {
+		return g.cfg.Instrument(ModuleAGW, func() error {
+			var e error
+			grant, respU, e = g.cfg.Telco.HandleResponse(brokerPub, resp)
+			return e
+		})
 	}); err != nil {
 		return g.reject(err.Error()), nil
 	}
@@ -439,12 +489,16 @@ func (g *AGW) handleSAPAttach(ranID string, m *nas.AttachRequestSAP) ([]byte, er
 	// ss seeds the NAS security context exactly as KASME would (SMC key
 	// derivation); the SMC exchange itself is folded into attach accept in
 	// SAP since both sides already hold ss.
-	g.cfg.Instrument(ModuleAGW, func() error {
-		sess.Ctx = nas.NewSecurityContext(grant.SS)
-		return nil
-	})
-	accept, err := g.activate(sess, grant.Params, respU)
-	if err != nil {
+	var accept *nas.AttachAccept
+	if err := step("epc", "activate", func() error {
+		g.cfg.Instrument(ModuleAGW, func() error {
+			sess.Ctx = nas.NewSecurityContext(grant.SS)
+			return nil
+		})
+		var e error
+		accept, e = g.activate(sess, grant.Params, respU)
+		return e
+	}); err != nil {
 		return nil, err
 	}
 	// The accept itself carries authRespU; it cannot be protected before

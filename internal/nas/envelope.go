@@ -1,0 +1,62 @@
+// NAS envelope framing. An envelope is the byte string a UE hands to its
+// serving RAN/AGW transport:
+//
+//	flag byte || [span context] || body
+//
+// The flag's low bit says whether the body is an integrity-protected +
+// ciphered NAS message (EnvelopeFlagProtected) or a plain encoded one; the
+// high bit (EnvelopeFlagTraced) says a 24-byte obs.SpanContext sits between
+// the flag and the body, carrying the causal trace identity end-to-end
+// through the attach path. Legacy envelopes (flag 0x00/0x01) decode
+// unchanged; the context rides outside the protected payload, so security
+// processing is byte-identical with tracing on or off.
+package nas
+
+import (
+	"errors"
+
+	"cellbricks/internal/obs"
+)
+
+const (
+	// EnvelopeFlagProtected marks the body as a protected NAS message.
+	EnvelopeFlagProtected byte = 0x01
+	// EnvelopeFlagTraced marks a 24-byte span context after the flag byte.
+	EnvelopeFlagTraced byte = 0x80
+)
+
+// ErrEnvelopeTooShort reports an envelope shorter than its header claims.
+var ErrEnvelopeTooShort = errors.New("nas: envelope too short")
+
+// AppendEnvelopeHeader appends the flag byte (and span context, when sc is
+// valid) to dst, returning the extended slice ready for the body bytes.
+func AppendEnvelopeHeader(dst []byte, protected bool, sc obs.SpanContext) []byte {
+	var flag byte
+	if protected {
+		flag |= EnvelopeFlagProtected
+	}
+	if sc.Valid() {
+		flag |= EnvelopeFlagTraced
+		dst = append(dst, flag)
+		return obs.AppendSpanContext(dst, sc)
+	}
+	return append(dst, flag)
+}
+
+// SplitEnvelope parses an envelope's header, returning the protected flag,
+// the span context (zero when absent), and the body.
+func SplitEnvelope(envelope []byte) (protected bool, sc obs.SpanContext, body []byte, err error) {
+	if len(envelope) < 1 {
+		return false, obs.SpanContext{}, nil, ErrEnvelopeTooShort
+	}
+	flag := envelope[0]
+	body = envelope[1:]
+	if flag&EnvelopeFlagTraced != 0 {
+		sc, err = obs.DecodeSpanContext(body)
+		if err != nil {
+			return false, obs.SpanContext{}, nil, ErrEnvelopeTooShort
+		}
+		body = body[obs.SpanContextLen:]
+	}
+	return flag&EnvelopeFlagProtected != 0, sc, body, nil
+}

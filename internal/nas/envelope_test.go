@@ -1,0 +1,58 @@
+package nas
+
+import (
+	"bytes"
+	"testing"
+
+	"cellbricks/internal/obs"
+)
+
+func TestEnvelopeHeaderRoundTrip(t *testing.T) {
+	sc := obs.SpanContext{Trace: 11, Span: 22, Parent: 33}
+	body := []byte("nas-body")
+	for _, protected := range []bool{false, true} {
+		env := AppendEnvelopeHeader(nil, protected, sc)
+		env = append(env, body...)
+		gotProt, gotSC, gotBody, err := SplitEnvelope(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotProt != protected || gotSC != sc || !bytes.Equal(gotBody, body) {
+			t.Fatalf("round trip protected=%v: got (%v, %+v, %q)", protected, gotProt, gotSC, gotBody)
+		}
+	}
+}
+
+// TestLegacyEnvelopesDecodeUnchanged: flag bytes 0x00/0x01 with no context
+// — the pre-tracing format — must split exactly as before.
+func TestLegacyEnvelopesDecodeUnchanged(t *testing.T) {
+	for _, tc := range []struct {
+		flag      byte
+		protected bool
+	}{{0x00, false}, {0x01, true}} {
+		env := append([]byte{tc.flag}, "legacy"...)
+		prot, sc, body, err := SplitEnvelope(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prot != tc.protected || sc.Valid() || string(body) != "legacy" {
+			t.Fatalf("flag %#x: got (%v, %+v, %q)", tc.flag, prot, sc, body)
+		}
+	}
+	// A zero context appends the legacy single-byte header.
+	env := AppendEnvelopeHeader(nil, true, obs.SpanContext{})
+	if len(env) != 1 || env[0] != EnvelopeFlagProtected {
+		t.Fatalf("zero-ctx header = %x, want 01", env)
+	}
+}
+
+func TestEnvelopeTruncation(t *testing.T) {
+	if _, _, _, err := SplitEnvelope(nil); err == nil {
+		t.Fatalf("empty envelope must not split")
+	}
+	// Traced flag but not enough bytes for the context.
+	short := []byte{EnvelopeFlagTraced, 1, 2, 3}
+	if _, _, _, err := SplitEnvelope(short); err == nil {
+		t.Fatalf("truncated traced envelope must not split")
+	}
+}

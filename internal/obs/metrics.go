@@ -255,8 +255,10 @@ func (r *Registry) Histogram(name, help string, bounds []time.Duration) *Histogr
 	return h
 }
 
-// Snapshot returns every scalar value in the registry: counters and gauges
-// under their own names, histograms as name_count and name_sum_seconds.
+// Snapshot returns every value in the registry: counters and gauges under
+// their own names, histograms as name_count, name_sum_seconds, and one
+// name_bucket_le_<bound> series per bucket (non-cumulative, so per-shard
+// snapshots merge additively in SumSnapshots; zero buckets are skipped).
 // Keys are stable, so two snapshots diff cleanly.
 func (r *Registry) Snapshot() map[string]float64 {
 	r.mu.Lock()
@@ -271,8 +273,24 @@ func (r *Registry) Snapshot() map[string]float64 {
 	for name, h := range r.histograms {
 		out[name+"_count"] = float64(h.Count())
 		out[name+"_sum_seconds"] = h.Sum().Seconds()
+		for i := range h.buckets {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			out[name+"_bucket_le_"+bucketLabel(h.bounds, i)] = float64(n)
+		}
 	}
 	return out
+}
+
+// bucketLabel names histogram bucket i the way the exposition format spells
+// its upper bound ("0.005", "1", "+Inf").
+func bucketLabel(bounds []time.Duration, i int) string {
+	if i < len(bounds) {
+		return formatSeconds(bounds[i])
+	}
+	return "+Inf"
 }
 
 // Delta returns cur minus prev, dropping zero deltas — the per-experiment

@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// SLOKind selects how a tracker's window aggregates into a value.
+type SLOKind int
+
+const (
+	// SLORatioMin: value = good/total must stay >= Objective
+	// (e.g. availability >= 0.9). Empty window counts as healthy (1.0).
+	SLORatioMin SLOKind = iota
+	// SLORatioMax: value = observed/allowed must stay <= Objective
+	// (e.g. billed/honest <= 1+epsilon). Empty window counts as 0.
+	SLORatioMax
+	// SLOLatencyP99: p99 over a windowed histogram (DefaultLatencyBuckets
+	// bounds) must stay <= Target. Empty window counts as 0.
+	SLOLatencyP99
+)
+
+func (k SLOKind) String() string {
+	switch k {
+	case SLORatioMin:
+		return "ratio-min"
+	case SLORatioMax:
+		return "ratio-max"
+	case SLOLatencyP99:
+		return "latency-p99"
+	}
+	return fmt.Sprintf("SLOKind(%d)", int(k))
+}
+
+// SLOSpec declares one service-level objective evaluated over a sliding
+// window of the tracker's clock (virtual time under simulation).
+type SLOSpec struct {
+	Name      string
+	Kind      SLOKind
+	Objective float64       // ratio kinds: the ratio bound
+	Target    time.Duration // latency kind: the p99 target
+	Window    time.Duration // sliding-window width
+	Buckets   int           // ring granularity (default 12)
+}
+
+// sloBucket is one fixed-width slice of the sliding window. Buckets are a
+// ring keyed by (at / width) % n and reset lazily when a new epoch lands
+// on them, so the steady-state observe path allocates nothing.
+type sloBucket struct {
+	start time.Duration // aligned bucket start; -1 means empty
+	a, b  float64
+	lat   []uint32 // len(DefaultLatencyBuckets)+1, allocated at Declare
+}
+
+// SLOStatus is one evaluation of a tracker at an instant.
+type SLOStatus struct {
+	Value    float64 // window-aggregated value (ratio or p99 seconds)
+	Margin   float64 // normalized distance to the objective; < 0 = breach
+	Burn     float64 // burn rate; > 1 means the objective is being missed
+	Breached bool
+}
+
+// SLOTracker evaluates one SLOSpec over its ring. Observations and
+// evaluations take the tracker's mutex; in deterministic simulations all
+// calls must additionally happen in a deterministic order (e.g. from
+// shard-0 handlers), same as the tracer.
+type SLOTracker struct {
+	Spec  SLOSpec
+	mu    sync.Mutex
+	width time.Duration
+	ring  []sloBucket
+
+	breached    bool
+	breaches    int
+	evals       int
+	last        SLOStatus
+	worstMargin float64
+	maxBurn     float64
+}
+
+func newSLOTracker(spec SLOSpec) *SLOTracker {
+	if spec.Buckets <= 0 {
+		spec.Buckets = 12
+	}
+	if spec.Window <= 0 {
+		spec.Window = time.Minute
+	}
+	t := &SLOTracker{Spec: spec, width: spec.Window / time.Duration(spec.Buckets)}
+	if t.width <= 0 {
+		t.width = 1
+	}
+	t.ring = make([]sloBucket, spec.Buckets)
+	for i := range t.ring {
+		t.ring[i].start = -1
+		if spec.Kind == SLOLatencyP99 {
+			t.ring[i].lat = make([]uint32, len(DefaultLatencyBuckets)+1)
+		}
+	}
+	t.worstMargin = math.Inf(1)
+	return t
+}
+
+// bucketFor returns the ring bucket covering at, resetting it if it still
+// holds a stale epoch.
+func (t *SLOTracker) bucketFor(at time.Duration) *sloBucket {
+	start := at - at%t.width
+	bk := &t.ring[int(start/t.width)%len(t.ring)]
+	if bk.start != start {
+		bk.start = start
+		bk.a, bk.b = 0, 0
+		for i := range bk.lat {
+			bk.lat[i] = 0
+		}
+	}
+	return bk
+}
+
+// ObserveRatio adds num/den to the ratio aggregate at time at (e.g.
+// num=1,den=1 for one available sample; num=claimed,den=allowed for a
+// billing cycle).
+func (t *SLOTracker) ObserveRatio(at time.Duration, num, den float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	bk := t.bucketFor(at)
+	bk.a += num
+	bk.b += den
+	t.mu.Unlock()
+}
+
+// ObserveDuration adds one latency sample at time at.
+func (t *SLOTracker) ObserveDuration(at time.Duration, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	bk := t.bucketFor(at)
+	i := 0
+	for i < len(DefaultLatencyBuckets) && d > DefaultLatencyBuckets[i] {
+		i++
+	}
+	bk.lat[i]++
+	t.mu.Unlock()
+}
+
+// evalLocked aggregates the live window at now and scores it.
+func (t *SLOTracker) evalLocked(now time.Duration) SLOStatus {
+	var a, b float64
+	var lat [32]uint64 // scratch; len(DefaultLatencyBuckets)+1 <= 32
+	var total uint64
+	// Live epochs are bucket starts in (now-Window, now]: exactly the ring's
+	// capacity. Anything older is a stale epoch not yet overwritten.
+	lo := now - t.Spec.Window
+	for i := range t.ring {
+		bk := &t.ring[i]
+		if bk.start < 0 || bk.start <= lo || bk.start > now {
+			continue
+		}
+		a += bk.a
+		b += bk.b
+		for j, c := range bk.lat {
+			lat[j] += uint64(c)
+			total += uint64(c)
+		}
+	}
+	var st SLOStatus
+	switch t.Spec.Kind {
+	case SLORatioMin:
+		st.Value = 1
+		if b > 0 {
+			st.Value = a / b
+		}
+		st.Margin = st.Value - t.Spec.Objective
+		if budget := 1 - t.Spec.Objective; budget > 0 {
+			st.Burn = (1 - st.Value) / budget
+		} else if st.Value < 1 {
+			st.Burn = math.Inf(1)
+		}
+	case SLORatioMax:
+		if b > 0 {
+			st.Value = a / b
+		}
+		st.Margin = t.Spec.Objective - st.Value
+		if t.Spec.Objective > 0 {
+			st.Burn = st.Value / t.Spec.Objective
+		}
+	case SLOLatencyP99:
+		p99 := sloP99(lat[:len(DefaultLatencyBuckets)+1], total)
+		st.Value = p99.Seconds()
+		target := t.Spec.Target
+		if target <= 0 {
+			target = time.Second
+		}
+		st.Margin = float64(target-p99) / float64(target)
+		st.Burn = float64(p99) / float64(target)
+	}
+	st.Breached = st.Margin < 0
+	return st
+}
+
+// sloP99 is the upper-bound p99 estimate over merged window counts: the
+// bound of the bucket containing the 99th-percentile sample. Samples in
+// the +Inf bucket report twice the largest finite bound — an explicit
+// "worse than the histogram can resolve" sentinel.
+func sloP99(lat []uint64, total uint64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(0.99 * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range lat {
+		cum += c
+		if cum >= rank {
+			if i < len(DefaultLatencyBuckets) {
+				return DefaultLatencyBuckets[i]
+			}
+			return 2 * DefaultLatencyBuckets[len(DefaultLatencyBuckets)-1]
+		}
+	}
+	return 2 * DefaultLatencyBuckets[len(DefaultLatencyBuckets)-1]
+}
+
+// Eval scores the tracker's window at now without recording statistics.
+func (t *SLOTracker) Eval(now time.Duration) SLOStatus {
+	if t == nil {
+		return SLOStatus{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evalLocked(now)
+}
+
+// tick evaluates, accumulates run statistics, and reports a threshold
+// crossing (entered=true on healthy→breach, entered=false on recovery).
+func (t *SLOTracker) tick(now time.Duration) (st SLOStatus, crossed, entered bool) {
+	t.mu.Lock()
+	st = t.evalLocked(now)
+	t.evals++
+	t.last = st
+	if st.Margin < t.worstMargin {
+		t.worstMargin = st.Margin
+	}
+	if st.Burn > t.maxBurn {
+		t.maxBurn = st.Burn
+	}
+	if st.Breached != t.breached {
+		crossed = true
+		entered = st.Breached
+		t.breached = st.Breached
+		if entered {
+			t.breaches++
+		}
+	}
+	t.mu.Unlock()
+	return st, crossed, entered
+}
+
+// SLOReport is a tracker's lifetime summary, suitable for deterministic
+// rendering.
+type SLOReport struct {
+	Name        string        `json:"name"`
+	Kind        string        `json:"kind"`
+	Objective   float64       `json:"objective"`
+	Target      time.Duration `json:"target_ns,omitempty"`
+	Window      time.Duration `json:"window_ns"`
+	LastValue   float64       `json:"last_value"`
+	LastMargin  float64       `json:"last_margin"`
+	WorstMargin float64       `json:"worst_margin"`
+	MaxBurn     float64       `json:"max_burn"`
+	Breaches    int           `json:"breaches"`
+	Evals       int           `json:"evals"`
+}
+
+// Report summarizes the tracker's run so far.
+func (t *SLOTracker) Report() SLOReport {
+	if t == nil {
+		return SLOReport{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	worst := t.worstMargin
+	if t.evals == 0 {
+		worst = 0
+	}
+	return SLOReport{
+		Name:        t.Spec.Name,
+		Kind:        t.Spec.Kind.String(),
+		Objective:   t.Spec.Objective,
+		Target:      t.Spec.Target,
+		Window:      t.Spec.Window,
+		LastValue:   t.last.Value,
+		LastMargin:  t.last.Margin,
+		WorstMargin: worst,
+		MaxBurn:     t.maxBurn,
+		Breaches:    t.breaches,
+		Evals:       t.evals,
+	}
+}
+
+// SLOEngine owns a set of trackers and drives their periodic evaluation.
+// Crossings fire the OnCross callback (synchronously, in declaration
+// order), which is where callers emit trace instants, bump counters, or
+// feed detection signals.
+type SLOEngine struct {
+	mu       sync.Mutex
+	trackers []*SLOTracker
+	onCross  func(t *SLOTracker, st SLOStatus, entered bool)
+}
+
+// NewSLOEngine builds an empty engine.
+func NewSLOEngine() *SLOEngine { return &SLOEngine{} }
+
+// Declare registers an SLO and returns its tracker for observations.
+func (e *SLOEngine) Declare(spec SLOSpec) *SLOTracker {
+	t := newSLOTracker(spec)
+	if e == nil {
+		return t
+	}
+	e.mu.Lock()
+	e.trackers = append(e.trackers, t)
+	e.mu.Unlock()
+	return t
+}
+
+// OnCross installs the threshold-crossing callback.
+func (e *SLOEngine) OnCross(fn func(t *SLOTracker, st SLOStatus, entered bool)) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.onCross = fn
+	e.mu.Unlock()
+}
+
+// Tick evaluates every tracker at now, firing OnCross for each threshold
+// crossing in declaration order.
+func (e *SLOEngine) Tick(now time.Duration) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	trackers := e.trackers
+	fn := e.onCross
+	e.mu.Unlock()
+	for _, t := range trackers {
+		st, crossed, entered := t.tick(now)
+		if crossed && fn != nil {
+			fn(t, st, entered)
+		}
+	}
+}
+
+// Report summarizes every tracker in declaration order.
+func (e *SLOEngine) Report() []SLOReport {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	trackers := e.trackers
+	e.mu.Unlock()
+	out := make([]SLOReport, 0, len(trackers))
+	for _, t := range trackers {
+		out = append(out, t.Report())
+	}
+	return out
+}

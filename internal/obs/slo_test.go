@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSLORatioMinAvailability(t *testing.T) {
+	e := NewSLOEngine()
+	tr := e.Declare(SLOSpec{
+		Name: "availability", Kind: SLORatioMin, Objective: 0.9,
+		Window: 10 * time.Second, Buckets: 10,
+	})
+
+	var crossings []bool
+	e.OnCross(func(_ *SLOTracker, _ SLOStatus, entered bool) {
+		crossings = append(crossings, entered)
+	})
+
+	// 10s of full availability: healthy, margin 0.1.
+	for s := 1; s <= 10; s++ {
+		tr.ObserveRatio(time.Duration(s)*time.Second, 1, 1)
+		e.Tick(time.Duration(s) * time.Second)
+	}
+	st := tr.Eval(10 * time.Second)
+	if st.Value != 1 || st.Breached || math.Abs(st.Margin-0.1) > 1e-9 {
+		t.Fatalf("healthy status wrong: %+v", st)
+	}
+	if len(crossings) != 0 {
+		t.Fatalf("no crossing expected while healthy, got %v", crossings)
+	}
+
+	// 5s of total outage: window value drops to 0.5 < 0.9 — breach enter.
+	for s := 11; s <= 15; s++ {
+		tr.ObserveRatio(time.Duration(s)*time.Second, 0, 1)
+		e.Tick(time.Duration(s) * time.Second)
+	}
+	st = tr.Eval(15 * time.Second)
+	if !st.Breached || st.Value != 0.5 {
+		t.Fatalf("breach status wrong: %+v", st)
+	}
+	if st.Burn <= 1 {
+		t.Fatalf("burn during breach must exceed 1, got %v", st.Burn)
+	}
+	if len(crossings) != 1 || !crossings[0] {
+		t.Fatalf("want one breach-enter crossing, got %v", crossings)
+	}
+
+	// Recovery: healthy samples push the outage out of the window.
+	for s := 16; s <= 25; s++ {
+		tr.ObserveRatio(time.Duration(s)*time.Second, 1, 1)
+		e.Tick(time.Duration(s) * time.Second)
+	}
+	if st = tr.Eval(25 * time.Second); st.Breached || st.Value != 1 {
+		t.Fatalf("post-recovery status wrong: %+v", st)
+	}
+	if len(crossings) != 2 || crossings[1] {
+		t.Fatalf("want breach-exit crossing, got %v", crossings)
+	}
+
+	rep := tr.Report()
+	if rep.Breaches != 1 || rep.WorstMargin >= 0 || rep.MaxBurn <= 1 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if rep.Name != "availability" || rep.Kind != "ratio-min" {
+		t.Fatalf("bad report identity: %+v", rep)
+	}
+}
+
+func TestSLORatioMaxOverbilling(t *testing.T) {
+	tr := newSLOTracker(SLOSpec{
+		Name: "overbilling", Kind: SLORatioMax, Objective: 1.05,
+		Window: time.Minute, Buckets: 6,
+	})
+	// Honest cycle: claimed == true bytes, ratio 1.0 <= 1.05.
+	tr.ObserveRatio(time.Second, 1000, 1000)
+	st := tr.Eval(time.Second)
+	if st.Breached || math.Abs(st.Margin-0.05) > 1e-9 {
+		t.Fatalf("honest status wrong: %+v", st)
+	}
+	// Overbilled cycle: 1500 claimed for 1000 true, window ratio 1.25.
+	tr.ObserveRatio(2*time.Second, 1500, 1000)
+	st = tr.Eval(2 * time.Second)
+	if !st.Breached || math.Abs(st.Value-1.25) > 1e-9 {
+		t.Fatalf("overbilled status wrong: %+v", st)
+	}
+	// Empty window (value 0) is healthy for a max-bound.
+	if st = tr.Eval(10 * time.Minute); st.Breached || st.Value != 0 {
+		t.Fatalf("empty-window status wrong: %+v", st)
+	}
+}
+
+func TestSLOLatencyP99(t *testing.T) {
+	tr := newSLOTracker(SLOSpec{
+		Name: "attach-p99", Kind: SLOLatencyP99, Target: 50 * time.Millisecond,
+		Window: 10 * time.Second, Buckets: 10,
+	})
+	// 99 fast samples, 1 slow: p99 lands in the slow sample's bucket.
+	for i := 0; i < 99; i++ {
+		tr.ObserveDuration(time.Second, 30*time.Millisecond)
+	}
+	st := tr.Eval(time.Second)
+	if st.Breached {
+		t.Fatalf("fast-only window must be healthy: %+v", st)
+	}
+	tr.ObserveDuration(time.Second, 90*time.Millisecond)
+	st = tr.Eval(time.Second)
+	// 100 samples: rank 99 is still a 30ms sample -> p99 = 50ms bucket bound
+	// boundary... the 99th of 100 sorted samples is fast (30ms -> 50ms bound).
+	if st.Value != (50 * time.Millisecond).Seconds() {
+		t.Fatalf("p99 = %v, want 0.05", st.Value)
+	}
+	if st.Breached {
+		t.Fatalf("p99 == target must not breach: %+v", st)
+	}
+	// Two more slow samples drag rank 99 into the 100ms bucket.
+	tr.ObserveDuration(time.Second, 90*time.Millisecond)
+	tr.ObserveDuration(time.Second, 90*time.Millisecond)
+	st = tr.Eval(time.Second)
+	if st.Value != (100*time.Millisecond).Seconds() || !st.Breached {
+		t.Fatalf("slow p99 status wrong: %+v", st)
+	}
+	if st.Burn != 2 {
+		t.Fatalf("burn = %v, want 2 (100ms / 50ms)", st.Burn)
+	}
+}
+
+// TestSLOP99InfBucketSentinel pins the +Inf rule: samples beyond the largest
+// finite bound report twice that bound.
+func TestSLOP99InfBucketSentinel(t *testing.T) {
+	tr := newSLOTracker(SLOSpec{Kind: SLOLatencyP99, Target: time.Second, Window: time.Minute})
+	tr.ObserveDuration(time.Second, time.Hour)
+	st := tr.Eval(time.Second)
+	want := (2 * DefaultLatencyBuckets[len(DefaultLatencyBuckets)-1]).Seconds()
+	if st.Value != want {
+		t.Fatalf("overflow p99 = %v, want %v", st.Value, want)
+	}
+}
+
+// TestSLOWindowExpiry: a stale bucket exactly one window old must not leak
+// into the evaluation, and old epochs are reset when their slot is reused.
+func TestSLOWindowExpiry(t *testing.T) {
+	tr := newSLOTracker(SLOSpec{
+		Kind: SLORatioMin, Objective: 0.9, Window: 10 * time.Second, Buckets: 10,
+	})
+	tr.ObserveRatio(time.Second, 0, 1) // an outage sample
+	if st := tr.Eval(time.Second); !st.Breached {
+		t.Fatalf("fresh outage must breach: %+v", st)
+	}
+	// Exactly one window later the sample is out of scope (empty = healthy).
+	if st := tr.Eval(11 * time.Second); st.Breached || st.Value != 1 {
+		t.Fatalf("expired outage leaked into window: %+v", st)
+	}
+	// Writing into the same ring slot one full window later must reset it.
+	tr.ObserveRatio(11*time.Second, 1, 1)
+	if st := tr.Eval(11 * time.Second); st.Value != 1 {
+		t.Fatalf("slot reuse kept stale counts: %+v", st)
+	}
+}
+
+// TestSLOObserveSteadyStateAllocs: the observe path must not allocate once
+// the tracker exists — it runs inside the simulator's hot loop.
+func TestSLOObserveSteadyStateAllocs(t *testing.T) {
+	ratio := newSLOTracker(SLOSpec{Kind: SLORatioMin, Objective: 0.9, Window: 10 * time.Second})
+	lat := newSLOTracker(SLOSpec{Kind: SLOLatencyP99, Target: time.Second, Window: 10 * time.Second})
+	var at time.Duration
+	allocs := testing.AllocsPerRun(1000, func() {
+		at += 10 * time.Millisecond
+		ratio.ObserveRatio(at, 1, 1)
+		lat.ObserveDuration(at, 5*time.Millisecond)
+		ratio.Eval(at)
+		lat.Eval(at)
+	})
+	if allocs != 0 {
+		t.Fatalf("observe/eval allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestSLOEngineReportOrderAndNilSafety(t *testing.T) {
+	e := NewSLOEngine()
+	e.Declare(SLOSpec{Name: "b", Kind: SLORatioMin, Objective: 0.5, Window: time.Second})
+	e.Declare(SLOSpec{Name: "a", Kind: SLORatioMax, Objective: 2, Window: time.Second})
+	e.Tick(time.Second)
+	rep := e.Report()
+	if len(rep) != 2 || rep[0].Name != "b" || rep[1].Name != "a" {
+		t.Fatalf("report must preserve declaration order: %+v", rep)
+	}
+	if rep[0].Evals != 1 || rep[0].WorstMargin != 0.5 {
+		t.Fatalf("bad evals/worst margin: %+v", rep[0])
+	}
+
+	var nilE *SLOEngine
+	nilE.Tick(0)
+	nilE.OnCross(nil)
+	if nilE.Report() != nil {
+		t.Fatalf("nil engine must report nil")
+	}
+	var nilT *SLOTracker
+	nilT.ObserveRatio(0, 1, 1)
+	nilT.ObserveDuration(0, time.Second)
+	if nilT.Eval(0) != (SLOStatus{}) || nilT.Report() != (SLOReport{}) {
+		t.Fatalf("nil tracker must be a no-op")
+	}
+}

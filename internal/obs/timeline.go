@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TimelinePhase is one named phase of a session timeline: every span with
+// that name in the session's trace, folded into a first-start + total
+// duration + count.
+type TimelinePhase struct {
+	Name  string        `json:"name"`
+	Cat   string        `json:"cat"`
+	Start time.Duration `json:"ts_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+	Count int           `json:"count"`
+}
+
+// Timeline is one session's span tree folded into named phase durations:
+// "where did this attach's 780 ms go?". Built from a trace by
+// BuildTimelines; rendering is deterministic.
+type Timeline struct {
+	Trace   uint64          `json:"trace_id"`
+	Session string          `json:"session"`
+	Name    string          `json:"name"`
+	Outcome string          `json:"outcome,omitempty"`
+	Start   time.Duration   `json:"ts_ns"`
+	Dur     time.Duration   `json:"dur_ns"`
+	Spans   int             `json:"spans"`
+	Phases  []TimelinePhase `json:"phases"`
+}
+
+// BuildTimelines folds a trace into per-session timelines. A session is a
+// trace ID that has a root span (a non-instant event with Parent == 0);
+// its phases are the trace's child spans folded by name in first-appearance
+// order. The session label comes from the root's "session" arg when
+// present, else the hex trace ID; the outcome from the root's "outcome"
+// arg. Timelines come back in root-record order, so a deterministic trace
+// yields deterministic timelines.
+func BuildTimelines(events []TraceEvent) []Timeline {
+	type build struct {
+		tl     *Timeline
+		phases map[string]int
+	}
+	byTrace := make(map[uint64]*build)
+	var order []uint64
+	for _, e := range events {
+		if e.Trace == 0 || e.Instant || e.Parent != 0 {
+			continue
+		}
+		if byTrace[e.Trace] != nil {
+			continue // first root wins
+		}
+		tl := &Timeline{
+			Trace:   e.Trace,
+			Session: e.Args["session"],
+			Name:    e.Name,
+			Outcome: e.Args["outcome"],
+			Start:   e.Start,
+			Dur:     e.Dur,
+			Spans:   1,
+		}
+		if tl.Session == "" {
+			tl.Session = TraceIDString(e.Trace)
+		}
+		byTrace[e.Trace] = &build{tl: tl, phases: make(map[string]int)}
+		order = append(order, e.Trace)
+	}
+	for _, e := range events {
+		if e.Trace == 0 || e.Instant || e.Parent == 0 {
+			continue
+		}
+		b := byTrace[e.Trace]
+		if b == nil {
+			continue
+		}
+		b.tl.Spans++
+		if i, ok := b.phases[e.Name]; ok {
+			b.tl.Phases[i].Dur += e.Dur
+			b.tl.Phases[i].Count++
+			continue
+		}
+		b.phases[e.Name] = len(b.tl.Phases)
+		b.tl.Phases = append(b.tl.Phases, TimelinePhase{
+			Name: e.Name, Cat: e.Cat, Start: e.Start, Dur: e.Dur, Count: 1,
+		})
+	}
+	out := make([]Timeline, 0, len(order))
+	for _, tr := range order {
+		out = append(out, *byTrace[tr].tl)
+	}
+	return out
+}
+
+// RenderTimelines writes the deterministic text form: one header line per
+// session plus one indented line per phase.
+func RenderTimelines(w io.Writer, tls []Timeline) error {
+	for _, tl := range tls {
+		outcome := tl.Outcome
+		if outcome == "" {
+			outcome = "-"
+		}
+		if _, err := fmt.Fprintf(w, "session %-12s trace=%s %s t=%-12v total=%-12v outcome=%s spans=%d\n",
+			tl.Session, TraceIDString(tl.Trace), tl.Name, tl.Start, tl.Dur, outcome, tl.Spans); err != nil {
+			return err
+		}
+		for _, p := range tl.Phases {
+			if _, err := fmt.Fprintf(w, "  %-16s %-8s t=%-12v dur=%-12v n=%d\n",
+				p.Name, p.Cat, p.Start, p.Dur, p.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTimelinesJSON writes the timelines as a JSON array.
+func WriteTimelinesJSON(w io.Writer, tls []Timeline) error {
+	if tls == nil {
+		tls = []Timeline{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tls)
+}

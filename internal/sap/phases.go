@@ -1,0 +1,21 @@
+package sap
+
+// Canonical attach-phase span names. The tracer records spans under these
+// names across layers (ue, ran, epc, testbed) and the timeline aggregator
+// folds them into per-session phase durations; keeping the vocabulary in
+// one place means a renamed phase breaks compilation instead of silently
+// splitting a timeline row in two.
+const (
+	// PhaseCellSelect is the UE's candidate scan + cell choice.
+	PhaseCellSelect = "cell-select"
+	// PhaseAKA is the UE-side key agreement (request build + response
+	// validation) of the SAP handshake.
+	PhaseAKA = "aka"
+	// PhaseSAPAuth is the serving-side SAP leg: forward-request, the
+	// broker round trip, and handle-response.
+	PhaseSAPAuth = "sap-auth"
+	// PhaseBearerSetup is session/bearer activation after the grant.
+	PhaseBearerSetup = "bearer-setup"
+	// PhaseFirstGoodput is attach-complete to first user-plane delivery.
+	PhaseFirstGoodput = "first-goodput"
+)

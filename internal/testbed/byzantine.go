@@ -59,9 +59,9 @@ type ByzantineConfig struct {
 	// Topology: Groups fault-isolated groups of CellsPerGroup bTelco
 	// cells and UEsPerGroup subscribers each. UEs attach and roam only
 	// within their group (defaults 4 / 2 / 6 = 8 cells, 24 UEs).
-	Groups       int
+	Groups        int
 	CellsPerGroup int
-	UEsPerGroup  int
+	UEsPerGroup   int
 
 	// AdversarialFrac is the fraction of all cells that run the adversary
 	// schedule (default 0.25). Adversaries are spread across groups,
@@ -87,9 +87,17 @@ type ByzantineConfig struct {
 	// byte-identical for any value.
 	Shards int
 	// Tracer, when set, records quarantine transitions, watchdog
-	// evidence and billing verdicts against the simulator clock. Only
-	// shard-0 handlers emit, so traced runs render identically.
+	// evidence, billing verdicts and SLO crossings against the simulator
+	// clock. Only shard-0 handlers emit, so traced runs render
+	// identically.
 	Tracer *obs.Tracer
+	// DisableSLOSignal cuts the feedback edge from the windowed SLO
+	// engine into the broker's quarantine: breaches are still evaluated,
+	// rendered and traced, but a per-cell overbilling breach no longer
+	// files ReportSLOBreach evidence. The SLO engine itself always runs
+	// (independent of Tracer), so tracing on/off stays byte-identical
+	// while the detection signal remains deterministic.
+	DisableSLOSignal bool
 }
 
 // DefaultByzantineSpec is the adversary behavior schedule: one seeded
@@ -177,10 +185,14 @@ type ByzQuarEvent struct {
 	Score   float64
 }
 
-// ByzInvariant is one post-run check.
+// ByzInvariant is one post-run check. Margin is the normalized distance
+// to the invariant's threshold — positive means headroom, negative means
+// violation depth — so a run reports *how close* it came, not just
+// pass/fail.
 type ByzInvariant struct {
 	Name   string
 	OK     bool
+	Margin float64
 	Detail string
 }
 
@@ -190,13 +202,13 @@ type ByzantineResult struct {
 	Cells       []ByzCellStat
 	Adversaries int
 
-	Attaches   int // successful attaches (incl. initial)
-	Attempts   int
-	Denied     int // broker denials seen by UEs
-	NASDrops   int // attach attempts eaten by adversarial NAS drop
-	GiveUps    int
-	Kicks      int // sessions revoked by quarantine entry
-	Roams      int
+	Attaches      int // successful attaches (incl. initial)
+	Attempts      int
+	Denied        int // broker denials seen by UEs
+	NASDrops      int // attach attempts eaten by adversarial NAS drop
+	GiveUps       int
+	Kicks         int // sessions revoked by quarantine entry
+	Roams         int
 	WatchdogTrips int
 
 	Sessions      int
@@ -206,6 +218,7 @@ type ByzantineResult struct {
 	BlackholedUEs int
 
 	Availability float64
+	SLO          []obs.SLOReport // windowed SLO summaries, declaration order
 	Quarantine   []ByzQuarEvent
 	Invariants   []ByzInvariant
 	Violations   int
@@ -217,6 +230,12 @@ const (
 	byzNASTimeout   = time.Second
 	byzAttachLat    = 31680 * time.Microsecond
 	byzWatchdogTick = time.Second
+	// byzSLOPhase is the sub-millisecond phase of the 1 Hz SLO engine
+	// tick on shard 0. UE lattice phases are whole microseconds (<= 999
+	// µs) and gateway offsets add g*1009 ns, so no packet arrival can
+	// land on a half-microsecond instant for any plausible group count —
+	// the tick never ties with a handler.
+	byzSLOPhase = 999500 * time.Nanosecond
 )
 
 var errByzNASTimeout = errors.New("testbed: NAS attach timed out")
@@ -257,7 +276,8 @@ type byzCell struct {
 	dl, ul *netem.Shaper
 
 	sessions []*byzSession
-	wdLocal  int // watchdog trips charged to this cell UE-side
+	wdLocal  int             // watchdog trips charged to this cell UE-side
+	slo      *obs.SLOTracker // per-cell overbilling ratio window
 }
 
 type byzUE struct {
@@ -289,6 +309,7 @@ type byzUE struct {
 	blackholed    bool
 	attachedSince time.Duration
 	attachedDur   time.Duration
+	stormStart    time.Duration // when the current attach storm began
 }
 
 type byzGroup struct {
@@ -319,6 +340,15 @@ type byzWorld struct {
 	rplPerCell []int
 	wdPerCell  []int
 	quarEvents []ByzQuarEvent
+
+	// Windowed SLO engine: shard-0 state like the broker. Observations
+	// happen only inside shard-0 handlers and the 1 Hz tick runs at a
+	// lattice phase no other event can occupy, so evaluation order — and
+	// therefore every breach crossing — is identical for any shard count.
+	slo         *obs.SLOEngine
+	sloAvail    *obs.SLOTracker // attach availability, ratio-min
+	sloAttach   *obs.SLOTracker // attach-grant latency, p99
+	sloOverbill *obs.SLOTracker // fleet-wide claimed/honest billing ratio
 
 	runErr error
 }
@@ -416,6 +446,49 @@ func newByzWorld(cfg ByzantineConfig) (*byzWorld, error) {
 		Probation: 2 * cfg.Duration,
 	}, w.sim0.Now)
 
+	// Windowed SLOs, evaluated at 1 Hz on the broker's shard. Crossings
+	// become trace instants and counters; a per-cell overbilling breach
+	// additionally files broker evidence (the optional detection signal),
+	// so the SLO engine is part of the closed loop, not just reporting.
+	obWindow := 4 * cfg.ReportEvery
+	obBound := 1 + bcfg.VerifierConfig.Epsilon
+	sloEnter := obs.Default().Counter("slo_breach_enter_total", "SLO windows crossing into breach")
+	sloExit := obs.Default().Counter("slo_breach_exit_total", "SLO windows recovering from breach")
+	w.slo = obs.NewSLOEngine()
+	w.slo.OnCross(func(t *obs.SLOTracker, st obs.SLOStatus, entered bool) {
+		name, ctr := "breach-exit", sloExit
+		if entered {
+			name, ctr = "breach-enter", sloEnter
+		}
+		ctr.Add(1)
+		cfg.Tracer.Event("slo", name, map[string]string{
+			"slo":    t.Spec.Name,
+			"value":  fmt.Sprintf("%.4f", st.Value),
+			"margin": fmt.Sprintf("%+.4f", st.Margin),
+			"burn":   fmt.Sprintf("%.2f", st.Burn),
+		})
+		if entered && !cfg.DisableSLOSignal {
+			if idT := strings.TrimPrefix(t.Spec.Name, "overbill:"); idT != t.Spec.Name {
+				score := w.brk.ReportSLOBreach(idT, 1)
+				cfg.Tracer.Event("slo", "signal", map[string]string{
+					"telco": idT, "score": fmt.Sprintf("%.3f", score),
+				})
+			}
+		}
+	})
+	w.sloAvail = w.slo.Declare(obs.SLOSpec{
+		Name: "availability", Kind: obs.SLORatioMin,
+		Objective: cfg.AvailabilitySLO, Window: 10 * time.Second, Buckets: 10,
+	})
+	w.sloAttach = w.slo.Declare(obs.SLOSpec{
+		Name: "attach-p99", Kind: obs.SLOLatencyP99,
+		Target: 2 * time.Second, Window: 15 * time.Second, Buckets: 15,
+	})
+	w.sloOverbill = w.slo.Declare(obs.SLOSpec{
+		Name: "overbill-all", Kind: obs.SLORatioMax,
+		Objective: obBound, Window: obWindow, Buckets: 12,
+	})
+
 	G, C, U := cfg.Groups, cfg.CellsPerGroup, cfg.UEsPerGroup
 	nUE := G * U
 	advPlan := perGroupAdversaries(G, C, cfg.AdversarialFrac)
@@ -504,6 +577,10 @@ func newByzWorld(cfg ByzantineConfig) (*byzWorld, error) {
 				}
 				sched.Replay(grp.sim, hooks)
 			}
+			cell.slo = w.slo.Declare(obs.SLOSpec{
+				Name: "overbill:" + idT, Kind: obs.SLORatioMax,
+				Objective: obBound, Window: obWindow, Buckets: 12,
+			})
 			grp.cells = append(grp.cells, cell)
 			w.telcoLoc[idT] = cell
 		}
@@ -573,6 +650,16 @@ func newByzWorld(cfg ByzantineConfig) (*byzWorld, error) {
 			grp.sim.At(latticeAt(roamAt, u.phase), u.roamTick)
 		}
 	}
+
+	// SLO evaluation chain: 1 Hz on shard 0 at the engine's private phase.
+	var sloTick func()
+	sloTick = func() {
+		w.slo.Tick(w.sim0.Now())
+		if next := w.sim0.Now() + byzWatchdogTick; next < cfg.Duration {
+			w.sim0.At(next, sloTick)
+		}
+	}
+	w.sim0.At(byzWatchdogTick+byzSLOPhase, sloTick)
 	return w, nil
 }
 
@@ -693,6 +780,7 @@ func (u *byzUE) detach() {
 func (u *byzUE) startAttach(prefer int, handover bool) {
 	u.attachSeq++
 	u.prefer, u.handover = prefer, handover
+	u.stormStart = u.grp.sim.Now()
 	u.stickLeft = 0
 	u.fsm = ue.NewAttachFSM(u.grp.w.cfg.Retry, len(u.grp.cells), u.rng)
 	u.fsm.SetAvoid(func(i int) bool {
@@ -742,8 +830,16 @@ func (u *byzUE) attempt(seq int) {
 		return
 	}
 	g := u.grp.idx
+	stormStart := u.stormStart
 	w.toBroker(g, func() {
 		resp, err := w.brk.HandleAuthRequest(reqT)
+		if err == nil && resp.Granted {
+			// Attach-latency SLO sample: storm start to broker grant, on
+			// the broker clock (stormStart was captured on the group
+			// shard before the send — no cross-shard read).
+			now0 := w.sim0.Now()
+			w.sloAttach.ObserveDuration(now0, now0-stormStart)
+		}
 		w.toGroup(g, func() {
 			if err != nil {
 				u.failAttach(seq, err, 0)
@@ -841,13 +937,18 @@ func (u *byzUE) reportTick(s *byzSession) {
 		w.fail(err)
 		return
 	}
+	claimed := tr.DLBytes
+	replayed := false
 	if cell.adv.ReplayReport() && s.last != nil {
 		tEnv = s.last
+		replayed = true
 	} else {
 		s.last = tEnv
 	}
 	global := cell.global
 	idT := cell.idT
+	honest := s.dl
+	cellSLO := cell.slo
 	w.toBroker(u.grp.idx, func() {
 		if _, err := w.brk.HandleReport(ueEnv); err != nil {
 			w.fail(err)
@@ -866,6 +967,16 @@ func (u *byzUE) reportTick(s *byzSession) {
 		case err != nil:
 			w.fail(err)
 		}
+		// Overbilling SLO sample: the cell's claimed cumulative bytes
+		// against the honest tap, per report cycle. Replayed reports are
+		// skipped (the broker rejected the claim outright) and so are
+		// cycles with no traffic yet; an honest cell contributes exactly
+		// 1.0, so only a lying meter can push a window past 1+epsilon.
+		if !replayed && honest > 0 {
+			now0 := w.sim0.Now()
+			w.sloOverbill.ObserveRatio(now0, float64(claimed), float64(honest))
+			cellSLO.ObserveRatio(now0, float64(claimed), float64(honest))
+		}
 	})
 	u.grp.sim.At(latticeAt(now+w.cfg.ReportEvery, u.phase), func() { u.reportTick(s) })
 }
@@ -878,6 +989,16 @@ func (u *byzUE) watchdogTick() {
 		return
 	}
 	now := u.grp.sim.Now()
+	// Availability SLO sample: attached-or-not at the tick instant,
+	// shipped to the shard-0 tracker (1 = attached). Sampled before the
+	// trip logic so a tripping tick still counts the window it wasted.
+	attached := 0.0
+	if u.sess != nil {
+		attached = 1
+	}
+	w.toBroker(u.grp.idx, func() {
+		w.sloAvail.ObserveRatio(w.sim0.Now(), attached, 1)
+	})
 	if s := u.sess; s != nil && u.wd.Observe(now, u.conn.Delivered()) {
 		u.grp.wdTrips++
 		ci := s.cell.idx
@@ -943,6 +1064,7 @@ func (w *byzWorld) collect() ByzantineResult {
 	slack := float64(32 << 10)
 	var availSum float64
 	var overbillBad []string
+	maxOBRatio := 0.0 // worst paid/bound over settled sessions
 
 	for _, grp := range w.groups {
 		res.Attempts += grp.attempts
@@ -998,6 +1120,9 @@ func (w *byzWorld) collect() ByzantineResult {
 				res.VerifiedBytes += st.VerifiedBytes
 				res.PaidUnits += st.Amount
 				bound := float64(s.dl)*(1+eps) + slack + 1
+				if ratio := float64(st.VerifiedBytes) / bound; ratio > maxOBRatio {
+					maxOBRatio = ratio
+				}
 				if float64(st.VerifiedBytes) > bound {
 					overbillBad = append(overbillBad, fmt.Sprintf("%s paid %d > bound %.0f (true %d)",
 						cell.idT, st.VerifiedBytes, bound, s.dl))
@@ -1006,22 +1131,34 @@ func (w *byzWorld) collect() ByzantineResult {
 		}
 	}
 	res.Availability = availSum / float64(len(w.groups)*cfg.UEsPerGroup)
+	res.SLO = w.slo.Report()
 
-	// Invariants.
-	inv := func(name string, ok bool, detail string) {
-		res.Invariants = append(res.Invariants, ByzInvariant{Name: name, OK: ok, Detail: detail})
+	// Invariants, each with a normalized margin (headroom when positive,
+	// violation depth when negative).
+	inv := func(name string, ok bool, margin float64, detail string) {
+		res.Invariants = append(res.Invariants, ByzInvariant{Name: name, OK: ok, Margin: margin, Detail: detail})
 		if !ok {
 			res.Violations++
 		}
 	}
 
 	var advFree, honestDirty, onAdv, detached []string
+	maxAdvScore, minHonestScore := 0.0, 1.0
 	for _, st := range res.Cells {
-		if st.Adversarial && !st.Quarantined {
-			advFree = append(advFree, st.ID)
-		}
-		if !st.Adversarial && (st.Quarantined || st.Strikes > 0 || st.Mismatches > 0 || st.Replays > 0) {
-			honestDirty = append(honestDirty, st.ID)
+		if st.Adversarial {
+			if st.Score > maxAdvScore {
+				maxAdvScore = st.Score
+			}
+			if !st.Quarantined {
+				advFree = append(advFree, st.ID)
+			}
+		} else {
+			if st.Score < minHonestScore {
+				minHonestScore = st.Score
+			}
+			if st.Quarantined || st.Strikes > 0 || st.Mismatches > 0 || st.Replays > 0 {
+				honestDirty = append(honestDirty, st.ID)
+			}
 		}
 	}
 	for _, grp := range w.groups {
@@ -1034,21 +1171,27 @@ func (w *byzWorld) collect() ByzantineResult {
 			}
 		}
 	}
+	nUE := len(w.groups) * cfg.UEsPerGroup
+	converged := float64(nUE-len(onAdv)-len(detached)) / float64(nUE)
+	// Margins: the quarantine entry threshold (0.7) anchors the score
+	// invariants — how far the worst adversary sits below it, and the
+	// worst honest cell above it. Overbilling uses worst paid/bound;
+	// availability its distance to the SLO floor.
 	inv("adversaries-quarantined",
-		len(advFree) == 0,
+		len(advFree) == 0, 0.7-maxAdvScore,
 		fmt.Sprintf("%d/%d quarantined%s", res.Adversaries-len(advFree), res.Adversaries, byzList(advFree)))
 	inv("honest-untouched",
-		len(honestDirty) == 0,
+		len(honestDirty) == 0, minHonestScore-0.7,
 		fmt.Sprintf("%d honest cells clean%s", len(res.Cells)-res.Adversaries-len(honestDirty), byzList(honestDirty)))
 	inv("ues-converged-honest",
-		len(onAdv) == 0 && len(detached) == 0,
+		len(onAdv) == 0 && len(detached) == 0, converged-1,
 		fmt.Sprintf("%d UEs attached to honest cells%s%s",
-			len(w.groups)*cfg.UEsPerGroup-len(onAdv)-len(detached), byzList(onAdv), byzList(detached)))
+			nUE-len(onAdv)-len(detached), byzList(onAdv), byzList(detached)))
 	inv("overbilling-bounded",
-		len(overbillBad) == 0,
+		len(overbillBad) == 0, 1-maxOBRatio,
 		fmt.Sprintf("paid %d vs true %d bytes%s", res.VerifiedBytes, res.TrueBytes, byzList(overbillBad)))
 	inv("availability-slo",
-		res.Availability >= cfg.AvailabilitySLO,
+		res.Availability >= cfg.AvailabilitySLO, res.Availability-cfg.AvailabilitySLO,
 		fmt.Sprintf("%.4f >= %.2f", res.Availability, cfg.AvailabilitySLO))
 	return res
 }
@@ -1103,6 +1246,11 @@ func (r ByzantineResult) Render() string {
 	fmt.Fprintf(&b, "billing: sessions=%d paid=%.6f units verified=%d true=%d bytes blackholed_ues=%d\n",
 		r.Sessions, r.PaidUnits, r.VerifiedBytes, r.TrueBytes, r.BlackholedUEs)
 	fmt.Fprintf(&b, "availability=%.4f\n", r.Availability)
+	b.WriteString("slo:\n")
+	for _, s := range r.SLO {
+		fmt.Fprintf(&b, "  %-24s kind=%-11s last=%.4f worst_margin=%+.4f max_burn=%.2f breaches=%d evals=%d\n",
+			s.Name, s.Kind, s.LastValue, s.WorstMargin, s.MaxBurn, s.Breaches, s.Evals)
+	}
 	b.WriteString("quarantine timeline:\n")
 	for _, e := range r.Quarantine {
 		dir := "exit"
@@ -1117,7 +1265,7 @@ func (r ByzantineResult) Render() string {
 		if !iv.OK {
 			verdict = "FAIL"
 		}
-		fmt.Fprintf(&b, "  %s %-24s %s\n", verdict, iv.Name, iv.Detail)
+		fmt.Fprintf(&b, "  %s %-24s margin=%+.4f %s\n", verdict, iv.Name, iv.Margin, iv.Detail)
 	}
 	fmt.Fprintf(&b, "violations=%d\n", r.Violations)
 	return b.String()

@@ -2,10 +2,12 @@ package testbed
 
 import (
 	"crypto/sha256"
+	"math"
 	"strings"
 	"testing"
 	"time"
 
+	"cellbricks/internal/chaos"
 	"cellbricks/internal/obs"
 )
 
@@ -148,6 +150,113 @@ func TestByzantineRenderShape(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestByzantineSLOEngine pins the windowed SLO engine's contract: the
+// render carries per-SLO margin lines and margin-bearing invariants, a
+// brazen overbilling-only adversary breaches its per-cell overbilling
+// window, the breach feeds the quarantine as evidence (slo/signal trace
+// instants) unless DisableSLOSignal cuts the edge — and none of it
+// perturbs determinism.
+func TestByzantineSLOEngine(t *testing.T) {
+	spec, err := chaos.ParseSpec("overbill=1x60s@1")
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	mk := func(disable bool, tr *obs.Tracer) ByzantineConfig {
+		cfg := byzTestConfig(13)
+		cfg.AdvSpec = spec
+		cfg.DisableSLOSignal = disable
+		cfg.Tracer = tr
+		return cfg
+	}
+
+	tr := obs.NewTracer(nil)
+	res, err := RunByzantine(mk(false, tr))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := res.Render()
+	if res.Violations != 0 {
+		t.Fatalf("violations with overbilling-only adversaries:\n%s", out)
+	}
+	for _, want := range []string{
+		"slo:", "availability", "attach-p99", "overbill-all",
+		"worst_margin=", "breaches=", "margin=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if len(res.SLO) < 3 {
+		t.Fatalf("expected >=3 SLO reports, got %d", len(res.SLO))
+	}
+	for _, iv := range res.Invariants {
+		if iv.Name == "availability-slo" {
+			if want := res.Availability - 0.9; math.Abs(iv.Margin-want) > 1e-9 {
+				t.Fatalf("availability margin %f, want %f", iv.Margin, want)
+			}
+		}
+	}
+	cellBreaches := 0
+	for _, s := range res.SLO {
+		if strings.HasPrefix(s.Name, "overbill:") {
+			cellBreaches += s.Breaches
+		}
+		if s.Evals == 0 {
+			t.Fatalf("tracker %s never evaluated", s.Name)
+		}
+	}
+	if cellBreaches == 0 {
+		t.Fatalf("no per-cell overbilling breach under a full-rate overbilling adversary:\n%s", out)
+	}
+	var sawEnter, sawSignal bool
+	for _, e := range tr.Events() {
+		if e.Cat != "slo" {
+			continue
+		}
+		switch e.Name {
+		case "breach-enter":
+			sawEnter = true
+		case "signal":
+			sawSignal = true
+		}
+	}
+	if !sawEnter || !sawSignal {
+		t.Fatalf("missing slo trace instants: enter=%v signal=%v", sawEnter, sawSignal)
+	}
+
+	// The SLO machinery must not perturb the run: an untraced rerun with
+	// the signal enabled renders identically.
+	rerun, err := RunByzantine(mk(false, nil))
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if rerun.Render() != out {
+		t.Fatalf("SLO-signal rerun diverged:\n--- first\n%s\n--- rerun\n%s", out, rerun.Render())
+	}
+
+	// Cutting the feedback edge: breaches still evaluated and rendered,
+	// but no evidence filed with the broker.
+	tr2 := obs.NewTracer(nil)
+	res2, err := RunByzantine(mk(true, tr2))
+	if err != nil {
+		t.Fatalf("disabled run: %v", err)
+	}
+	disabledBreaches := 0
+	for _, s := range res2.SLO {
+		if strings.HasPrefix(s.Name, "overbill:") {
+			disabledBreaches += s.Breaches
+		}
+	}
+	if disabledBreaches == 0 {
+		t.Fatal("DisableSLOSignal must not stop breach evaluation")
+	}
+	for _, e := range tr2.Events() {
+		if e.Cat == "slo" && e.Name == "signal" {
+			t.Fatal("evidence filed despite DisableSLOSignal")
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"cellbricks/internal/epc"
 	"cellbricks/internal/mobility"
 	"cellbricks/internal/mptcp"
+	"cellbricks/internal/nas"
 	"cellbricks/internal/netem"
 	"cellbricks/internal/obs"
 	"cellbricks/internal/pki"
@@ -182,6 +183,18 @@ type foWorld struct {
 
 	attachSeq int
 
+	// Causal tracing: each attach storm is one trace. ids mints span IDs
+	// deterministically from the seed; the storm fields track the open
+	// storm's root span so success/give-up/supersede can close it with an
+	// outcome, and the goodput fields arm the first-goodput watch.
+	ids          *obs.SpanIDSource
+	stormRoot    obs.SpanContext
+	stormStart   time.Duration
+	stormSession string
+	stormOpen    bool
+	goodputRoot  obs.SpanContext
+	goodputFrom  time.Duration
+
 	dataWatch   []*foWatcher
 	attachWatch []*foWatcher
 
@@ -199,6 +212,7 @@ func newFoWorld(cfg FailoverConfig, res *FailoverResult) (*foWorld, error) {
 		ueIP:  "ft-ip-0",
 		live:  true,
 		res:   res,
+		ids:   obs.NewSpanIDSource(cfg.Seed),
 	}
 	// Trace timestamps are virtual time on this run's simulator clock.
 	cfg.Tracer.SetClock(w.sim.Now)
@@ -238,7 +252,10 @@ func newFoWorld(cfg FailoverConfig, res *FailoverResult) (*foWorld, error) {
 			IDT: id, Key: key, Cert: cert,
 			Terms: sap.ServiceTerms{Cap: qos.DefaultCapability(), PricePerGB: 1.0},
 		}
-		w.agws[i] = epc.NewAGW(epc.AGWConfig{Telco: w.telcos[i], Brokers: foDirectory{w}})
+		w.agws[i] = epc.NewAGW(epc.AGWConfig{
+			Telco: w.telcos[i], Brokers: foDirectory{w},
+			Tracer: cfg.Tracer, TraceIDs: w.ids,
+		})
 	}
 
 	// Data plane.
@@ -249,12 +266,19 @@ func newFoWorld(cfg FailoverConfig, res *FailoverResult) (*foWorld, error) {
 		Multipath: true, AddrWorkWait: 500 * time.Millisecond, Timeout: 60 * time.Second,
 	})
 
-	// Initial attach, synchronously, before the clock starts.
+	// Initial attach, synchronously, before the clock starts. It is the
+	// first traced session (s0).
+	w.openStorm()
 	if err := w.tryAttach(0); err != nil {
 		return nil, fmt.Errorf("testbed: initial attach: %w", err)
 	}
 	w.res.Attaches++
 	w.res.AttachAttempts++
+	root, open := w.stormRoot, w.stormOpen
+	w.closeStorm("ok", map[string]string{"telco": w.telcos[0].IDT, "attempts": "1"})
+	if open {
+		w.tracePhases(root, w.sim.Now())
+	}
 
 	// First snapshot at t=0 so a crash always has state to restore.
 	w.snapshot()
@@ -289,6 +313,114 @@ func (c foBrokerClient) Authenticate(req *sap.AuthReqT) (*sap.AuthResp, error) {
 	return c.w.brk.HandleAuthRequest(req)
 }
 
+// AuthenticateCtx implements epc.BrokerClientCtx: the broker hop joins the
+// attach trace with a broker/handle-auth span, mirroring what
+// broker.ServeTraced records in the real-socket deployment.
+func (c foBrokerClient) AuthenticateCtx(sc obs.SpanContext, req *sap.AuthReqT) (*sap.AuthResp, error) {
+	w := c.w
+	if !sc.Valid() || w.cfg.Tracer == nil {
+		return c.Authenticate(req)
+	}
+	start := w.sim.Now()
+	resp, err := c.Authenticate(req)
+	args := map[string]string(nil)
+	if err != nil {
+		args = map[string]string{"error": err.Error()}
+	}
+	w.cfg.Tracer.SpanCtx(sc.Child(w.ids.Next()), "broker", "handle-auth", start, w.sim.Now()-start, args)
+	return resp, err
+}
+
+// openStorm closes any still-open storm as superseded and mints the root
+// span context for the next one (session label = attachSeq). No-op when
+// the run is untraced.
+func (w *foWorld) openStorm() {
+	if w.cfg.Tracer == nil {
+		return
+	}
+	w.closeStorm("superseded", nil)
+	w.stormRoot = w.ids.NewTrace()
+	w.stormStart = w.sim.Now()
+	w.stormSession = fmt.Sprintf("s%d", w.attachSeq)
+	w.stormOpen = true
+}
+
+// closeStorm emits the open storm's root span with its outcome. Every
+// storm closes exactly one way: ok, giveup, superseded by a newer
+// handover, or open at end of run.
+func (w *foWorld) closeStorm(outcome string, args map[string]string) {
+	if !w.stormOpen {
+		return
+	}
+	w.stormOpen = false
+	if args == nil {
+		args = map[string]string{}
+	}
+	args["session"] = w.stormSession
+	args["outcome"] = outcome
+	w.cfg.Tracer.SpanCtx(w.stormRoot, "attach", "attach-storm",
+		w.stormStart, w.sim.Now()-w.stormStart, args)
+}
+
+// tracePhases records the modeled phase breakdown of a successful attach:
+// the AttachLatency gap between grant and usable address, subdivided under
+// the canonical phase names with fixed fractions, and arms the
+// first-goodput watch on the data path. The protocol spans recorded by the
+// ue/epc/broker layers carry causality; these carry the Fig. 7-shaped
+// durations a timeline renders.
+func (w *foWorld) tracePhases(root obs.SpanContext, now time.Duration) {
+	d := w.cfg.AttachLatency
+	cs := d / 8
+	aka := d / 4
+	auth := d * 3 / 8
+	bearer := d - cs - aka - auth
+	t := now
+	for _, ph := range []struct {
+		cat, name string
+		dur       time.Duration
+	}{
+		{"ran", sap.PhaseCellSelect, cs},
+		{"ue", sap.PhaseAKA, aka},
+		{"sap", sap.PhaseSAPAuth, auth},
+		{"epc", sap.PhaseBearerSetup, bearer},
+	} {
+		w.cfg.Tracer.SpanCtx(root.Child(w.ids.Next()), ph.cat, ph.name, t, ph.dur, nil)
+		t += ph.dur
+	}
+	w.goodputRoot = root
+	w.goodputFrom = now + d
+}
+
+// resolveGoodput closes the pending first-goodput span: attach-complete to
+// the first user-plane delivery afterwards.
+func (w *foWorld) resolveGoodput(now time.Duration) {
+	if !w.goodputRoot.Valid() || now < w.goodputFrom {
+		return
+	}
+	w.cfg.Tracer.SpanCtx(w.goodputRoot.Child(w.ids.Next()), "app", sap.PhaseFirstGoodput,
+		w.goodputFrom, now-w.goodputFrom, nil)
+	w.goodputRoot = obs.SpanContext{}
+}
+
+// nasUplink models the radio/S1 leg between a UE and bTelco ti's AGW,
+// recording a wire span (child of the envelope's context) around NAS
+// handling when the attach is traced.
+func (w *foWorld) nasUplink(ti int, ranID string, envelope []byte) ([]byte, error) {
+	_, sc, _, scErr := nas.SplitEnvelope(envelope)
+	traced := scErr == nil && sc.Valid() && w.cfg.Tracer != nil
+	start := w.sim.Now()
+	reply, err := w.agws[ti].HandleNAS(ranID, envelope)
+	if traced {
+		args := map[string]string{"ran": ranID, "bytes": strconv.Itoa(len(envelope))}
+		if err != nil {
+			args["error"] = err.Error()
+		}
+		w.cfg.Tracer.SpanCtx(sc.Child(w.ids.Next()), "wire", "nas-uplink",
+			start, w.sim.Now()-start, args)
+	}
+	return reply, err
+}
+
 func (w *foWorld) snapshot() {
 	if w.live && w.brk != nil {
 		w.lastSnap = w.brk.Snapshot()
@@ -305,11 +437,14 @@ func (w *foWorld) tryAttach(ti int) error {
 	}
 	ranID := fmt.Sprintf("ft-ue-%d", w.res.AttachAttempts)
 	dev := ue.NewDevice(ranID, nil, w.ueCB)
+	if w.stormOpen {
+		dev.TraceAttach(w.cfg.Tracer, w.ids, w.stormRoot)
+	}
 	_, err := dev.AttachSAP(func(envelope []byte) ([]byte, error) {
 		if w.telcoDown[ti] {
 			return nil, fmt.Errorf("testbed: btelco %d died mid-attach", ti)
 		}
-		return w.agws[ti].HandleNAS(ranID, envelope)
+		return w.nasUplink(ti, ranID, envelope)
 	}, w.telcos[ti].IDT)
 	return err
 }
@@ -323,7 +458,7 @@ func (w *foWorld) startAttach(newIP string) {
 	seq := w.attachSeq
 	fsm := ue.NewAttachFSM(w.cfg.Retry, len(w.agws), w.sim.Rand())
 	base := w.serving
-	stormStart := w.sim.Now()
+	w.openStorm()
 	var attempt func()
 	attempt = func() {
 		if seq != w.attachSeq || w.runErr != nil {
@@ -337,10 +472,14 @@ func (w *foWorld) startAttach(newIP string) {
 			w.res.Attaches++
 			w.res.AttachRetries += fsm.Attempts()
 			w.res.Fallbacks += fsm.Fallbacks()
-			w.cfg.Tracer.Span("attach", "attach-storm", stormStart, w.sim.Now()-stormStart, map[string]string{
+			root, open := w.stormRoot, w.stormOpen
+			w.closeStorm("ok", map[string]string{
 				"telco":    w.telcos[ti].IDT,
 				"attempts": strconv.Itoa(fsm.Attempts() + 1),
 			})
+			if open {
+				w.tracePhases(root, w.sim.Now())
+			}
 			w.resolveAttach(w.sim.Now())
 			w.sim.After(w.cfg.AttachLatency, func() {
 				if seq == w.attachSeq {
@@ -355,6 +494,9 @@ func (w *foWorld) startAttach(newIP string) {
 			// mobility event restarts the machine.
 			w.res.GiveUps++
 			w.cfg.Tracer.Event("attach", "give-up", map[string]string{
+				"attempts": strconv.Itoa(fsm.Attempts()),
+			})
+			w.closeStorm("giveup", map[string]string{
 				"attempts": strconv.Itoa(fsm.Attempts()),
 			})
 			return
@@ -543,11 +685,18 @@ func runFailoverOnce(cfg FailoverConfig, sched chaos.Schedule, res *FailoverResu
 	prev := w.conn.OnDeliver
 	w.conn.OnDeliver = func(n int) {
 		prev(n)
-		if n > 0 && len(w.dataWatch) > 0 {
-			w.resolveData(w.sim.Now())
+		if n > 0 {
+			now := w.sim.Now()
+			if len(w.dataWatch) > 0 {
+				w.resolveData(now)
+			}
+			w.resolveGoodput(now)
 		}
 	}
 	result := ip.Run(cfg.Duration)
+	// A storm still in flight at the horizon closes as "open" so its trace
+	// has a root and the timeline shows the unfinished session.
+	w.closeStorm("open", nil)
 	res.Outcomes = append(res.Outcomes, outcomes...)
 	if w.runErr != nil {
 		return result, w.runErr

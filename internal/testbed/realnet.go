@@ -10,6 +10,8 @@ import (
 	"cellbricks/internal/billing"
 	"cellbricks/internal/broker"
 	"cellbricks/internal/epc"
+	"cellbricks/internal/nas"
+	"cellbricks/internal/obs"
 	"cellbricks/internal/orc8r"
 	"cellbricks/internal/pki"
 	"cellbricks/internal/qos"
@@ -61,6 +63,14 @@ func (d wireDirectory) Lookup(idB string) (epc.BrokerClient, pki.PublicIdentity,
 
 // NewRealDeployment starts all three servers on loopback.
 func NewRealDeployment() (*RealDeployment, error) {
+	return NewRealDeploymentTraced(nil, nil)
+}
+
+// NewRealDeploymentTraced is NewRealDeployment with causal tracing armed:
+// the broker server decodes trace contexts from incoming frames, the AGW
+// parents its spans under the NAS envelope's context, and a traced attach
+// over real sockets yields the same span tree the simulator produces.
+func NewRealDeploymentTraced(tr *obs.Tracer, ids *obs.SpanIDSource) (*RealDeployment, error) {
 	d := &RealDeployment{}
 	var err error
 	if d.CA, err = pki.NewCAFromSeed("real-ca", bytes.Repeat([]byte{61}, 32)); err != nil {
@@ -71,7 +81,7 @@ func NewRealDeployment() (*RealDeployment, error) {
 	}
 	cfg := broker.DefaultConfig("broker.real", d.brokerKey, d.CA.Public())
 	d.Broker = broker.New(cfg)
-	if d.BrokerSrv, err = broker.Serve(d.Broker, "127.0.0.1:0"); err != nil {
+	if d.BrokerSrv, err = broker.ServeTraced(d.Broker, "127.0.0.1:0", tr, ids); err != nil {
 		return nil, err
 	}
 
@@ -106,6 +116,8 @@ func NewRealDeployment() (*RealDeployment, error) {
 			addr: d.BrokerSrv.Addr(),
 			pub:  d.Broker.Public(),
 		},
+		Tracer:   tr,
+		TraceIDs: ids,
 	})
 	if d.NASSrv, err = epc.ServeNAS(d.AGW, "127.0.0.1:0"); err != nil {
 		d.Close()
@@ -202,6 +214,14 @@ func (d *RealDeployment) dialNAS(ranID string) (ue.NASTransport, error) {
 		return nil, err
 	}
 	return func(envelope []byte) ([]byte, error) {
+		// Mirror the NAS envelope's trace context into the wire frame
+		// header, so transport-level tooling sees the trace identity
+		// without parsing NAS; the AGW still recovers it from the
+		// envelope itself, keeping untraced frames byte-identical.
+		if _, sc, _, err := nas.SplitEnvelope(envelope); err == nil && sc.Valid() {
+			_, reply, err := client.CallCtx(wire.TypeNAS, sc, epc.EncodeNASCall(ranID, envelope))
+			return reply, err
+		}
 		_, reply, err := client.Call(wire.TypeNAS, epc.EncodeNASCall(ranID, envelope))
 		return reply, err
 	}, nil

@@ -15,6 +15,7 @@ import (
 	"cellbricks/internal/aka"
 	"cellbricks/internal/billing"
 	"cellbricks/internal/nas"
+	"cellbricks/internal/obs"
 	"cellbricks/internal/pki"
 	"cellbricks/internal/sap"
 	"cellbricks/internal/wire"
@@ -58,6 +59,34 @@ type Device struct {
 	ctx    *nas.SecurityContext
 	attach *Attachment
 	enc    []byte // NAS encode scratch (guarded by mu; Protect copies out)
+
+	// Causal tracing (armed by TraceAttach; zero-valued = untraced, with
+	// byte-identical envelopes to the pre-tracing format).
+	tr       *obs.Tracer
+	ids      *obs.SpanIDSource
+	traceCtx obs.SpanContext // parent context for the next attach
+}
+
+// TraceAttach arms causal tracing for subsequent SAP attaches: the device
+// records a "ue" span for each attach, parented under parent, and embeds
+// its context in the uplink NAS envelope so the serving AGW (and everything
+// behind it) can join the same trace. Passing a nil ids or an invalid
+// parent disarms tracing.
+func (d *Device) TraceAttach(tr *obs.Tracer, ids *obs.SpanIDSource, parent obs.SpanContext) {
+	d.mu.Lock()
+	d.tr, d.ids, d.traceCtx = tr, ids, parent
+	d.mu.Unlock()
+}
+
+// attachSpanCtx mints the span context for one attach exchange (zero when
+// tracing is disarmed).
+func (d *Device) attachSpanCtx() obs.SpanContext {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ids == nil || !d.traceCtx.Valid() {
+		return obs.SpanContext{}
+	}
+	return d.traceCtx.Child(d.ids.Next())
 }
 
 // NewDevice builds a device. key is the broker-issued UE key (also the
@@ -88,6 +117,16 @@ func (d *Device) Context() *nas.SecurityContext {
 // built in a single allocation.
 func plainEnvelope(m nas.Message) []byte {
 	return nas.AppendEncode(make([]byte, 1, 96), m)
+}
+
+// plainEnvelopeCtx is plainEnvelope with a span context in the header; a
+// zero context produces the legacy single-flag-byte envelope.
+func plainEnvelopeCtx(m nas.Message, sc obs.SpanContext) []byte {
+	if !sc.Valid() {
+		return plainEnvelope(m)
+	}
+	hdr := nas.AppendEnvelopeHeader(make([]byte, 0, 1+obs.SpanContextLen+96), false, sc)
+	return nas.AppendEncode(hdr, m)
 }
 
 func (d *Device) protectedEnvelope(m nas.Message) ([]byte, error) {
@@ -192,7 +231,15 @@ func (d *Device) AttachSAP(tx NASTransport, idT string) (*Attachment, error) {
 	if err != nil {
 		return nil, err
 	}
-	reply, err := tx(plainEnvelope(&nas.AttachRequestSAP{BrokerID: d.CB.IDB, AuthReqU: reqU.Marshal()}))
+	sc := d.attachSpanCtx()
+	start := d.tr.Now()
+	defer func() {
+		if sc.Valid() {
+			d.tr.SpanCtx(sc, "ue", "attach-sap", start, d.tr.Now()-start,
+				map[string]string{"telco": idT})
+		}
+	}()
+	reply, err := tx(plainEnvelopeCtx(&nas.AttachRequestSAP{BrokerID: d.CB.IDB, AuthReqU: reqU.Marshal()}, sc))
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +264,14 @@ func (d *Device) AttachSAP(tx NASTransport, idT string) (*Attachment, error) {
 	d.mu.Unlock()
 	a := d.install(accept)
 	if d.Meter != nil {
+		bindStart := d.tr.Now()
 		d.Meter.BindSession(uref)
+		// No uref in the args: broker references come from crypto/rand, and
+		// trace output must be byte-identical across runs of one seed.
+		if sc.Valid() {
+			d.tr.SpanCtx(sc.Child(d.ids.Next()), "billing", "bind-session",
+				bindStart, d.tr.Now()-bindStart, nil)
+		}
 	}
 	return a, nil
 }

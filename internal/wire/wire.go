@@ -63,6 +63,13 @@ const (
 	TypeRetryAfter
 )
 
+// FrameTraced is the type-byte bit marking a traced frame: a 24-byte
+// obs.SpanContext sits between the type byte and the payload, carrying the
+// causal trace identity across the socket. All Type* values stay below
+// 0x80, so the bit is unambiguous; untraced frames are byte-identical to
+// the pre-tracing wire format.
+const FrameTraced byte = 0x80
+
 // Errors.
 var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
@@ -108,13 +115,30 @@ var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b
 
 // WriteFrame writes one frame.
 func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
-	if len(payload)+1 > MaxFrame {
+	return WriteFrameCtx(w, msgType, obs.SpanContext{}, payload)
+}
+
+// WriteFrameCtx writes one frame carrying a span context. An invalid
+// (zero) context writes the plain pre-tracing frame, so untraced traffic
+// is byte-identical with or without this path.
+func WriteFrameCtx(w io.Writer, msgType byte, sc obs.SpanContext, payload []byte) error {
+	traced := sc.Valid() && msgType&FrameTraced == 0
+	hdr := 1
+	if traced {
+		hdr += obs.SpanContextLen
+	}
+	if len(payload)+hdr > MaxFrame {
 		return ErrFrameTooLarge
 	}
 	bp := framePool.Get().(*[]byte)
 	buf := (*bp)[:0]
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)+1))
-	buf = append(buf, msgType)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)+hdr))
+	if traced {
+		buf = append(buf, msgType|FrameTraced)
+		buf = obs.AppendSpanContext(buf, sc)
+	} else {
+		buf = append(buf, msgType)
+	}
 	buf = append(buf, payload...)
 	_, err := w.Write(buf)
 	*bp = buf[:0]
@@ -123,33 +147,54 @@ func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
 		return err
 	}
 	mtr.framesSent.Add(1)
-	mtr.bytesSent.Add(uint64(5 + len(payload)))
+	mtr.bytesSent.Add(uint64(4 + hdr + len(payload)))
 	return nil
 }
 
-// ReadFrame reads one frame.
+// ReadFrame reads one frame, discarding any span context it carries.
 func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
+	msgType, _, payload, err = ReadFrameCtx(r)
+	return msgType, payload, err
+}
+
+// ReadFrameCtx reads one frame, returning the span context it carries
+// (zero for untraced frames) alongside the unmasked type byte.
+func ReadFrameCtx(r io.Reader) (msgType byte, sc obs.SpanContext, payload []byte, err error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, nil, err
+		return 0, obs.SpanContext{}, nil, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n == 0 || n > MaxFrame {
-		return 0, nil, ErrFrameTooLarge
+		return 0, obs.SpanContext{}, nil, ErrFrameTooLarge
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+		return 0, obs.SpanContext{}, nil, err
 	}
 	mtr.framesRecv.Add(1)
 	mtr.bytesRecv.Add(uint64(len(lenBuf) + len(buf)))
-	return buf[0], buf[1:], nil
+	msgType, payload = buf[0], buf[1:]
+	if msgType&FrameTraced != 0 {
+		sc, err = obs.DecodeSpanContext(payload)
+		if err != nil {
+			return 0, obs.SpanContext{}, nil, err
+		}
+		msgType &^= FrameTraced
+		payload = payload[obs.SpanContextLen:]
+	}
+	return msgType, sc, payload, nil
 }
 
 // Handler serves one request frame, returning the reply frame. Returning
 // an error sends a TypeError frame with the error text (or a
 // TypeRetryAfter frame when the error is a *RetryAfterError).
 type Handler func(msgType byte, payload []byte) (replyType byte, reply []byte, err error)
+
+// CtxHandler is a Handler that also receives the span context carried by a
+// traced frame (zero for untraced frames) — the server side of end-to-end
+// causal tracing.
+type CtxHandler func(sc obs.SpanContext, msgType byte, payload []byte) (replyType byte, reply []byte, err error)
 
 // ServerOptions tunes server robustness. The zero value keeps connections
 // open indefinitely and backs accept errors off between 5 ms and 1 s.
@@ -174,10 +219,11 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	return o
 }
 
-// Server accepts connections and serves frames with a Handler.
+// Server accepts connections and serves frames with a Handler or
+// CtxHandler.
 type Server struct {
 	ln      net.Listener
-	handler Handler
+	handler CtxHandler
 	opts    ServerOptions
 
 	mu        sync.Mutex
@@ -196,6 +242,20 @@ func NewServer(addr string, h Handler) (*Server, error) {
 
 // NewServerOptions starts a server with explicit robustness options.
 func NewServerOptions(addr string, h Handler, o ServerOptions) (*Server, error) {
+	return NewServerCtxOptions(addr, func(_ obs.SpanContext, msgType byte, payload []byte) (byte, []byte, error) {
+		return h(msgType, payload)
+	}, o)
+}
+
+// NewServerCtx starts a server whose handler receives the span context of
+// traced frames.
+func NewServerCtx(addr string, h CtxHandler) (*Server, error) {
+	return NewServerCtxOptions(addr, h, ServerOptions{})
+}
+
+// NewServerCtxOptions starts a context-aware server with explicit
+// robustness options.
+func NewServerCtxOptions(addr string, h CtxHandler, o ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -254,7 +314,7 @@ func (s *Server) acceptLoop() {
 
 // handle runs the handler with panic isolation: a panicking handler costs
 // one connection, not the process.
-func (s *Server) handle(msgType byte, payload []byte) (replyType byte, reply []byte, err error, panicked bool) {
+func (s *Server) handle(sc obs.SpanContext, msgType byte, payload []byte) (replyType byte, reply []byte, err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
@@ -266,7 +326,7 @@ func (s *Server) handle(msgType byte, payload []byte) (replyType byte, reply []b
 			obs.Errorf("wire", "handler panic (type %d): %v", msgType, r)
 		}
 	}()
-	replyType, reply, err = s.handler(msgType, payload)
+	replyType, reply, err = s.handler(sc, msgType, payload)
 	return
 }
 
@@ -282,11 +342,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.opts.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
 		}
-		msgType, payload, err := ReadFrame(conn)
+		msgType, sc, payload, err := ReadFrameCtx(conn)
 		if err != nil {
 			return
 		}
-		replyType, reply, err, panicked := s.handle(msgType, payload)
+		replyType, reply, err, panicked := s.handle(sc, msgType, payload)
 		if err != nil {
 			var ra *RetryAfterError
 			if errors.As(err, &ra) {
@@ -455,7 +515,7 @@ func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
 // redialling first if the previous attempt broke it. transport=true means
 // the connection state is undefined and the frame may not have been
 // served.
-func (c *Client) callOnce(msgType byte, payload []byte) (byte, []byte, error, bool) {
+func (c *Client) callOnce(msgType byte, sc obs.SpanContext, payload []byte) (byte, []byte, error, bool) {
 	if c.conn == nil {
 		conn, err := c.dial()
 		if err != nil {
@@ -469,7 +529,7 @@ func (c *Client) callOnce(msgType byte, payload []byte) (byte, []byte, error, bo
 	if c.opts.CallTimeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout))
 	}
-	if err := WriteFrame(c.conn, msgType, payload); err != nil {
+	if err := WriteFrameCtx(c.conn, msgType, sc, payload); err != nil {
 		return 0, nil, err, true
 	}
 	replyType, reply, err := ReadFrame(c.conn)
@@ -492,6 +552,13 @@ func (c *Client) callOnce(msgType byte, payload []byte) (byte, []byte, error, bo
 // attempt that fails mid-frame always abandons the connection so a later
 // Call can never read a stale or misaligned reply.
 func (c *Client) Call(msgType byte, payload []byte) (byte, []byte, error) {
+	return c.CallCtx(msgType, obs.SpanContext{}, payload)
+}
+
+// CallCtx is Call with a span context attached to the request frame — the
+// client side of end-to-end causal tracing. A zero context sends the plain
+// pre-tracing frame.
+func (c *Client) CallCtx(msgType byte, sc obs.SpanContext, payload []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -509,7 +576,7 @@ func (c *Client) Call(msgType byte, payload []byte) (byte, []byte, error) {
 			c.stats.Retries++
 			mtr.retries.Add(1)
 		}
-		replyType, reply, err, transport := c.callOnce(msgType, payload)
+		replyType, reply, err, transport := c.callOnce(msgType, sc, payload)
 		if err == nil {
 			return replyType, reply, nil
 		}
