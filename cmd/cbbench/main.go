@@ -8,6 +8,7 @@
 //	cbbench -exp fig10           # day vs night rate limiting
 //	cbbench -exp failover        # fault injection: outage-to-recovery + goodput dip
 //	cbbench -exp byzantine       # Byzantine bTelcos vs quarantine, invariant-checked soak
+//	cbbench -exp storm           # attach storm vs broker batching/caching/admission control
 //	cbbench -exp all
 //
 // Flags tune the emulated duration, trials and seed; results print the
@@ -135,7 +136,7 @@ func writeTimelines(events []obs.TraceEvent, path string) (int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7|table1|fig8|fig9|fig10|transports|scale|billing|failover|byzantine|all")
+	exp := flag.String("exp", "all", "experiment: fig7|table1|fig8|fig9|fig10|transports|scale|billing|failover|byzantine|storm|all")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	n := flag.Int("n", 100, "fig7: attach repetitions per cell")
 	dur := flag.Duration("dur", 5*time.Minute, "table1: emulated drive time per cell")
@@ -152,6 +153,10 @@ func main() {
 	byzFrac := flag.Float64("byz-frac", 0.25, "byzantine: adversarial fraction of all cells (negative for none)")
 	byzSpec := flag.String("byz-spec", testbed.DefaultByzantineSpec,
 		"byzantine: adversary spec, class=COUNTxDUR[@RATE] (classes: overbill underbill replay blackhole nasdrop hodrop)")
+	stormRate := flag.Float64("storm-rate", 40, "storm: fleet-wide base attach arrival rate per second (ramps to 2x by the horizon)")
+	stormSpike := flag.Float64("storm-spike", 8, "storm: flash-crowd rate multiplier over the mid-run spike window")
+	stormUEs := flag.Int("storm-ues", 25, "storm: UEs per group (4 groups of 2 cells)")
+	stormSerial := flag.Bool("storm-serial", false, "storm: serial baseline — no batch pipeline, no auth cache, no resume fast path (rendered output is byte-identical either way)")
 	jsonOut := flag.Bool("json", false, "append wall time/allocs/metrics to the bench-trajectory file")
 	jsonPath := flag.String("json-file", "", "bench-trajectory file (default BENCH_<date>.json)")
 	label := flag.String("label", "", "label for this run in the bench-trajectory file")
@@ -494,6 +499,46 @@ func main() {
 			return res.Render(), m, nil
 		})
 	}
+	if want("storm") {
+		run("storm", "Attach storm: flash crowd vs broker batching, caching and admission control", func() (string, map[string]float64, error) {
+			// The storm's own 30 s default unless -dur was given explicitly.
+			stormDur := 30 * time.Second
+			if durSet {
+				stormDur = *dur
+			}
+			res, err := testbed.RunStorm(testbed.StormConfig{
+				Seed:        *seed,
+				Duration:    stormDur,
+				UEsPerGroup: *stormUEs,
+				BaseRate:    *stormRate,
+				Spike:       *stormSpike,
+				Serial:      *stormSerial,
+				Shards:      effShards,
+			})
+			if err != nil {
+				return "", nil, err
+			}
+			wall := res.WallPre + res.WallSpike + res.WallPost
+			m := map[string]float64{
+				"attaches":               float64(res.Attaches),
+				"sheds":                  float64(res.Sheds),
+				"shed_frac":              res.ShedFraction(),
+				"resumes":                float64(res.Resumes),
+				"cache_hits":             float64(res.CacheHits),
+				"cache_misses":           float64(res.CacheMisses),
+				"batch_flushes":          float64(res.BatchFlushes),
+				"batch_items":            float64(res.BatchItems),
+				"wall_pre_ms":            res.WallPre.Seconds() * 1000,
+				"wall_spike_ms":          res.WallSpike.Seconds() * 1000,
+				"wall_post_ms":           res.WallPost.Seconds() * 1000,
+				"spike_attaches_per_sec": res.SpikeAttachesPerSec(),
+			}
+			if wall > 0 {
+				m["attaches_per_sec"] = float64(res.Grants) / wall.Seconds()
+			}
+			return res.Render(), m, nil
+		})
+	}
 	if want("fig10") {
 		run("fig10", "Fig. 10 (Appendix A): day vs night rate limiting (downtown)", func() (string, map[string]float64, error) {
 			res := testbed.RunFig10(*seed, 500*time.Second)
@@ -505,7 +550,7 @@ func main() {
 	}
 
 	if !matched {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q: want fig7|table1|fig8|fig9|fig10|transports|scale|billing|failover|byzantine|all\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q: want fig7|table1|fig8|fig9|fig10|transports|scale|billing|failover|byzantine|storm|all\n", *exp)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,125 @@
+package broker
+
+import (
+	"cellbricks/internal/qos"
+)
+
+// Auth-decision cache: the pki.CertVerifier memoization pattern lifted
+// one layer up. During an attach storm the broker evaluates the same
+// (user, bTelco, terms) authorization thousands of times against state
+// that almost never changes; this cache remembers GRANTED decisions and
+// replays them until any reputation- or policy-relevant event bumps the
+// epoch sequence (seq-invalidation, exactly like a generation counter —
+// entries from an old epoch read as misses and are dropped lazily).
+//
+// Scope, deliberately narrow:
+//
+//   - Only grants are cached. Denials re-evaluate every time, so purely
+//     time-driven transitions (a quarantine window expiring into the
+//     trial phase) take effect without anyone bumping the epoch.
+//   - The cache is bypassed while a custom SetPolicy chain is installed:
+//     custom rules may be time- or state-dependent (OffPeakBoost) in
+//     ways the epoch counter cannot see.
+//   - Restore always clears the cache: a snapshot may carry reputation
+//     and quarantine state the cached decisions predate.
+//
+// Invalidation sites (every write that can change an authorization):
+// billing mismatch/replay ingest, QoS penalties, watchdog and SLO
+// evidence, quarantine transitions, SetPolicy, RevokeUser,
+// EnableQuarantine, and Restore.
+
+// authCacheKey identifies one authorization input. ServiceTerms itself
+// is not comparable (its capability holds a QCI slice), so the terms ride
+// as their canonical-encoding digest.
+type authCacheKey struct {
+	idU   string
+	idT   string
+	terms uint64 // sap.ServiceTerms.Fingerprint()
+}
+
+type authCacheEntry struct {
+	seq    uint64
+	params qos.Params
+}
+
+// EnableAuthCache arms the auth-decision cache with a maximum entry
+// count (FIFO eviction, like the SAP nonce cache — deterministic, never
+// iterating a map). max <= 0 disables. Off by default.
+func (b *Brokerd) EnableAuthCache(max int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if max <= 0 {
+		b.authCacheMax = 0
+		b.authCache = nil
+		b.authOrder = nil
+		return
+	}
+	b.authCacheMax = max
+	b.authCache = make(map[authCacheKey]authCacheEntry, max)
+	b.authOrder = b.authOrder[:0]
+	b.authSeq++
+}
+
+// AuthCacheStats reports cumulative (hits, misses, invalidations).
+func (b *Brokerd) AuthCacheStats() (hits, misses, invalidations uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.authHits, b.authMisses, b.authInvals
+}
+
+// authCacheLookupLocked consults the cache; a stale-epoch entry reads as
+// a miss and is dropped. Mutex held by caller.
+func (b *Brokerd) authCacheLookupLocked(k authCacheKey) (qos.Params, bool) {
+	e, ok := b.authCache[k]
+	if ok && e.seq == b.authSeq {
+		b.authHits++
+		mtr.authCacheHits.Add(1)
+		return e.params, true
+	}
+	if ok {
+		delete(b.authCache, k)
+	}
+	b.authMisses++
+	mtr.authCacheMisses.Add(1)
+	return qos.Params{}, false
+}
+
+// authCacheStoreLocked records a granted decision under the current
+// epoch. The FIFO order slice may briefly hold a re-inserted key twice;
+// early eviction of such a key costs an extra miss, never a wrong
+// answer. Mutex held by caller.
+func (b *Brokerd) authCacheStoreLocked(k authCacheKey, p qos.Params) {
+	if _, exists := b.authCache[k]; !exists {
+		b.authOrder = append(b.authOrder, k)
+		if len(b.authOrder) > b.authCacheMax {
+			old := b.authOrder[0]
+			b.authOrder = b.authOrder[1:]
+			delete(b.authCache, old)
+		}
+	}
+	b.authCache[k] = authCacheEntry{seq: b.authSeq, params: p}
+}
+
+// invalidateAuthCacheLocked starts a new cache epoch: every cached
+// decision predates the state change that just happened and reads as a
+// miss from here on. Mutex held by caller.
+func (b *Brokerd) invalidateAuthCacheLocked() {
+	if b.authCacheMax == 0 {
+		return
+	}
+	b.authSeq++
+	b.authInvals++
+	mtr.authCacheInvals.Add(1)
+}
+
+// clearAuthCacheLocked drops every entry outright (Restore path: the
+// epoch bump alone would suffice for correctness, but restored state
+// should not pin pre-snapshot memory either). Mutex held by caller.
+func (b *Brokerd) clearAuthCacheLocked() {
+	if b.authCacheMax == 0 {
+		return
+	}
+	b.authCache = make(map[authCacheKey]authCacheEntry, b.authCacheMax)
+	b.authOrder = b.authOrder[:0]
+	b.invalidateAuthCacheLocked()
+}

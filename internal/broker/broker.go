@@ -77,6 +77,23 @@ type Brokerd struct {
 	quarClock  func() time.Duration
 	quar       map[string]*QuarantineEntry
 	quarNotify func(idT string, entered bool, score float64)
+
+	// Auth-decision cache (authcache.go); authCacheMax == 0 = disabled.
+	authCache    map[authCacheKey]authCacheEntry
+	authOrder    []authCacheKey
+	authSeq      uint64
+	authCacheMax int
+	authHits     uint64
+	authMisses   uint64
+	authInvals   uint64
+
+	// Admission-control shedder (admission.go); nil = disabled.
+	adm *admissionState
+
+	// Session references already consumed by a fast-path resume
+	// (resume.go). Like the SAP nonce cache this is replay protection,
+	// not durable state: a restart re-arms it empty.
+	resumed map[string]bool
 }
 
 // New creates a brokerd.
@@ -90,6 +107,7 @@ func New(cfg Config) *Brokerd {
 		prices:        make(map[string]float64),
 		reports:       make(map[string]map[billing.Reporter][]*billing.Report),
 		qosViolations: make(map[string]int),
+		resumed:       make(map[string]bool),
 	}
 	b.sap = sap.NewBrokerState(cfg.ID, cfg.Key, cfg.Anchor, sap.AuthorizerFunc(b.authorize), cfg.Now)
 	return b
@@ -113,7 +131,12 @@ func (b *Brokerd) RegisterUser(pub pki.PublicIdentity) string {
 }
 
 // RevokeUser invalidates a user's key.
-func (b *Brokerd) RevokeUser(idU string) { b.sap.RevokeUser(idU) }
+func (b *Brokerd) RevokeUser(idU string) {
+	b.sap.RevokeUser(idU)
+	b.mu.Lock()
+	b.invalidateAuthCacheLocked()
+	b.mu.Unlock()
+}
 
 // authorize is the broker's admission policy, run inside SAP request
 // handling: reputation gate, suspect gate, price gate, then QoS selection
@@ -121,6 +144,32 @@ func (b *Brokerd) RevokeUser(idU string) { b.sap.RevokeUser(idU) }
 func (b *Brokerd) authorize(idU, idT string, terms sap.ServiceTerms) (qos.Params, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.authorizeLocked(idU, idT, terms)
+}
+
+// authorizeLocked is authorize with the broker lock already held — the
+// entry point the batch commit phase uses. It consults the auth-decision
+// cache (grants only, current epoch only; bypassed while a custom
+// policy chain is installed) before falling through to the full
+// decision.
+func (b *Brokerd) authorizeLocked(idU, idT string, terms sap.ServiceTerms) (qos.Params, error) {
+	useCache := b.authCacheMax > 0 && b.policy == nil
+	var key authCacheKey
+	if useCache {
+		key = authCacheKey{idU: idU, idT: idT, terms: terms.Fingerprint()}
+		if p, ok := b.authCacheLookupLocked(key); ok {
+			return p, nil
+		}
+	}
+	params, err := b.decideLocked(idU, idT, terms)
+	if err == nil && useCache {
+		b.authCacheStoreLocked(key, params)
+	}
+	return params, err
+}
+
+// decideLocked is the uncached policy decision. Mutex held by caller.
+func (b *Brokerd) decideLocked(idU, idT string, terms sap.ServiceTerms) (qos.Params, error) {
 	if b.cfg.MinTelcoScore > 0 {
 		if score := b.verifier.TelcoScore(idT); score < b.cfg.MinTelcoScore {
 			return qos.Params{}, fmt.Errorf("bTelco %s reputation %.2f below %.2f", idT, score, b.cfg.MinTelcoScore)
@@ -187,7 +236,8 @@ func (b *Brokerd) ShedCount() uint64 {
 // HandleAuthRequest processes one SAP request from a bTelco. On grant it
 // binds the session for billing alignment and remembers the bTelco's
 // certified key for report verification. A degraded broker sheds the
-// request with a typed retry-after error before any crypto runs.
+// request with a typed retry-after error before any crypto runs, and an
+// armed admission shedder (EnableAdmission) charges one attach next.
 func (b *Brokerd) HandleAuthRequest(req *sap.AuthReqT) (*sap.AuthResp, error) {
 	b.mu.Lock()
 	if hint := b.shedHint; hint > 0 {
@@ -197,6 +247,16 @@ func (b *Brokerd) HandleAuthRequest(req *sap.AuthReqT) (*sap.AuthResp, error) {
 		return nil, &wire.RetryAfterError{After: hint}
 	}
 	b.mu.Unlock()
+	if err := b.AdmitAttach(0); err != nil {
+		return nil, err
+	}
+	return b.handleAuthCore(req)
+}
+
+// handleAuthCore runs the SAP handshake plus grant bookkeeping with the
+// degraded-mode and admission gates already passed — the entry point the
+// Batcher's serial flush uses (admission was charged at enqueue).
+func (b *Brokerd) handleAuthCore(req *sap.AuthReqT) (*sap.AuthResp, error) {
 	resp, rec, err := b.sap.HandleRequest(req)
 	if err != nil {
 		mtr.attachDenied.Add(1)
@@ -273,14 +333,22 @@ func (b *Brokerd) HandleReport(env *billing.SealedReport) (*billing.Mismatch, er
 	if mm != nil {
 		mtr.mismatches.Add(1)
 	}
-	if errors.Is(err, billing.ErrReplayedReport) {
+	if isReplay(err) {
 		mtr.replays.Add(1)
+	}
+	// Evidence moved the bTelco's reputation (and possibly the user
+	// suspect list): cached auth decisions predate it.
+	if mm != nil || isReplay(err) {
+		b.invalidateAuthCacheLocked()
 	}
 	// Any ingest can move the bTelco's reputation (pass, mismatch, or
 	// replay penalty): re-evaluate quarantine while the lock is held.
-	b.reviewTelcoLocked(rec.IDT, mm != nil || errors.Is(err, billing.ErrReplayedReport))
+	b.reviewTelcoLocked(rec.IDT, mm != nil || isReplay(err))
 	return mm, err
 }
+
+// isReplay reports whether an ingest error is the replay rejection.
+func isReplay(err error) bool { return errors.Is(err, billing.ErrReplayedReport) }
 
 // qosViolationFactor is how far beyond the class target a UE-attested
 // measurement must fall before the broker counts a QoS violation (ample
@@ -305,6 +373,7 @@ func (b *Brokerd) checkQoS(rec *sap.GrantRecord, r *billing.Report) {
 	if degree > 0 {
 		b.qosViolations[rec.IDT]++
 		b.verifier.PenalizeQoS(rec.IDT, math.Min(degree, 1))
+		b.invalidateAuthCacheLocked()
 	}
 }
 

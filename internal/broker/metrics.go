@@ -22,6 +22,16 @@ var mtr struct {
 	quarEnter        *obs.Counter
 	quarExit         *obs.Counter
 	quarDenied       *obs.Counter
+
+	authCacheHits      *obs.Counter
+	authCacheMisses    *obs.Counter
+	authCacheInvals    *obs.Counter
+	admissionRateShed  *obs.Counter
+	admissionQueueShed *obs.Counter
+	batchFlushes       *obs.Counter
+	batchItems         *obs.Counter
+	resumeGranted      *obs.Counter
+	resumeDenied       *obs.Counter
 }
 
 func init() { SetMetricsEnabled(true) }
@@ -35,6 +45,10 @@ func SetMetricsEnabled(on bool) {
 		mtr.snapshots, mtr.restores = nil, nil
 		mtr.replays, mtr.watchdogEvidence, mtr.sloEvidence = nil, nil, nil
 		mtr.quarEnter, mtr.quarExit, mtr.quarDenied = nil, nil, nil
+		mtr.authCacheHits, mtr.authCacheMisses, mtr.authCacheInvals = nil, nil, nil
+		mtr.admissionRateShed, mtr.admissionQueueShed = nil, nil
+		mtr.batchFlushes, mtr.batchItems = nil, nil
+		mtr.resumeGranted, mtr.resumeDenied = nil, nil
 		return
 	}
 	r := obs.Default()
@@ -51,4 +65,13 @@ func SetMetricsEnabled(on bool) {
 	mtr.quarEnter = r.Counter("broker_quarantine_enter_total", "bTelco quarantine entries")
 	mtr.quarExit = r.Counter("broker_quarantine_exit_total", "bTelco quarantine full exits")
 	mtr.quarDenied = r.Counter("broker_quarantine_denied_total", "attaches denied because the bTelco is quarantined")
+	mtr.authCacheHits = r.Counter("broker_authcache_hits_total", "auth-decision cache hits")
+	mtr.authCacheMisses = r.Counter("broker_authcache_misses_total", "auth-decision cache misses (including stale epochs)")
+	mtr.authCacheInvals = r.Counter("broker_authcache_invalidations_total", "auth-decision cache epoch bumps")
+	mtr.admissionRateShed = r.Counter("broker_admission_rate_shed_total", "attaches shed by the token-bucket rate gate")
+	mtr.admissionQueueShed = r.Counter("broker_admission_queue_shed_total", "attaches shed by the queue-depth gate")
+	mtr.batchFlushes = r.Counter("broker_batch_flushes_total", "batcher flush windows processed")
+	mtr.batchItems = r.Counter("broker_batch_items_total", "control-plane items enqueued into the batcher")
+	mtr.resumeGranted = r.Counter("broker_resume_granted_total", "fast-path session resumptions granted")
+	mtr.resumeDenied = r.Counter("broker_resume_denied_total", "fast-path session resumptions denied")
 }

@@ -65,7 +65,12 @@ func (b *Brokerd) EnableQuarantine(cfg QuarantineConfig, clock func() time.Durat
 	cfg = cfg.defaults()
 	b.quarCfg = &cfg
 	b.quarClock = clock
-	b.quar = make(map[string]*QuarantineEntry)
+	// Create-only-when-nil: a Restore that ran before enabling must keep
+	// its quarantine entries.
+	if b.quar == nil {
+		b.quar = make(map[string]*QuarantineEntry)
+	}
+	b.invalidateAuthCacheLocked()
 }
 
 // SetQuarantineNotify installs a callback invoked on every quarantine
@@ -119,6 +124,7 @@ func (b *Brokerd) ReportWatchdog(idT string, degree float64) float64 {
 	defer b.mu.Unlock()
 	mtr.watchdogEvidence.Add(1)
 	b.verifier.PenalizeMisconduct(idT, degree)
+	b.invalidateAuthCacheLocked()
 	b.reviewTelcoLocked(idT, true)
 	return b.verifier.TelcoScore(idT)
 }
@@ -135,6 +141,7 @@ func (b *Brokerd) ReportSLOBreach(idT string, degree float64) float64 {
 	defer b.mu.Unlock()
 	mtr.sloEvidence.Add(1)
 	b.verifier.PenalizeMisconduct(idT, degree)
+	b.invalidateAuthCacheLocked()
 	b.reviewTelcoLocked(idT, true)
 	return b.verifier.TelcoScore(idT)
 }
@@ -182,6 +189,7 @@ func (b *Brokerd) reviewTelcoLocked(idT string, misbehaved bool) {
 		if score < b.quarCfg.EnterBelow {
 			window := b.quarCfg.Probation
 			b.quar[idT] = &QuarantineEntry{Since: now, Until: now + window, Strikes: 1}
+			b.invalidateAuthCacheLocked()
 			mtr.quarEnter.Add(1)
 			if b.quarNotify != nil {
 				b.quarNotify(idT, true, score)
@@ -196,12 +204,14 @@ func (b *Brokerd) reviewTelcoLocked(idT string, misbehaved bool) {
 				window = max
 			}
 			e.Since, e.Until, e.Strikes = now, now+window, e.Strikes+1
+			b.invalidateAuthCacheLocked()
 			mtr.quarEnter.Add(1)
 			if b.quarNotify != nil {
 				b.quarNotify(idT, true, score)
 			}
 		} else if score >= b.quarCfg.ExitAbove {
 			delete(b.quar, idT)
+			b.invalidateAuthCacheLocked()
 			mtr.quarExit.Add(1)
 			if b.quarNotify != nil {
 				b.quarNotify(idT, false, score)

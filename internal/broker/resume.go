@@ -1,0 +1,77 @@
+package broker
+
+import (
+	"cellbricks/internal/sap"
+	"cellbricks/internal/wire"
+)
+
+// HandleResume processes one SAP fast-path re-attach (see sap/resume.go
+// for the protocol). The entry gates mirror HandleAuthRequest — a
+// degraded broker sheds with its retry-after hint, then admission
+// control charges one attach — before the core runs. On a grant the
+// successor session is bound for billing alignment exactly like a full
+// handshake's grant.
+func (b *Brokerd) HandleResume(req *sap.ResumeReq) (*sap.ResumeResp, error) {
+	b.mu.Lock()
+	if hint := b.shedHint; hint > 0 {
+		b.shedCount++
+		b.mu.Unlock()
+		mtr.attachShed.Add(1)
+		return nil, &wire.RetryAfterError{After: hint}
+	}
+	b.mu.Unlock()
+	if err := b.AdmitAttach(0); err != nil {
+		return nil, err
+	}
+	return b.handleResumeCore(req)
+}
+
+// handleResumeCore runs the resume decision with the entry gates already
+// passed — the entry point the Batcher's serial flush uses (admission
+// was charged at enqueue). Denial causes mirror the full handshake's
+// style; the session reference is single-use (a replayed ResumeReq is
+// refused), and the authorization policy re-runs so a quarantined or
+// score-gated bTelco is denied exactly as a full attach would be.
+func (b *Brokerd) handleResumeCore(req *sap.ResumeReq) (*sap.ResumeResp, error) {
+	if req == nil {
+		return nil, sap.ErrBadRequest
+	}
+	b.mu.Lock()
+	rec := b.grants[req.URef]
+	b.mu.Unlock()
+	// The MAC check is the only crypto on the path; keep it outside the
+	// decision lock like report-signature verification.
+	var macErr error
+	if rec != nil {
+		macErr = sap.VerifyResumeReq(req, rec.SS)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	score := b.verifier.TelcoScore(req.IDT)
+	deny := func(cause string) (*sap.ResumeResp, error) {
+		mtr.resumeDenied.Add(1)
+		return sap.DenyResume(cause, score), nil
+	}
+	switch {
+	case rec == nil:
+		return deny("unknown session reference")
+	case rec.IDT != req.IDT:
+		return deny("bTelco identity mismatch")
+	case b.resumed[req.URef]:
+		return deny("session reference already resumed")
+	case macErr != nil:
+		return deny("resume MAC invalid")
+	}
+	params, err := b.authorizeLocked(rec.IDU, req.IDT, rec.Terms)
+	if err != nil {
+		return deny("authorization denied: " + err.Error())
+	}
+	resp, ss2, uref2 := sap.GrantResume(req, rec.SS, params, score)
+	b.resumed[req.URef] = true
+	rec2 := &sap.GrantRecord{URef: uref2, IDU: rec.IDU, IDT: rec.IDT, SS: ss2, Terms: rec.Terms, QoS: params}
+	b.grants[uref2] = rec2
+	b.prices[uref2] = b.prices[req.URef]
+	b.verifier.BindSession(uref2, rec2.IDU, rec2.IDT)
+	mtr.resumeGranted.Add(1)
+	return resp, nil
+}

@@ -11,12 +11,16 @@ import (
 )
 
 // Snapshot serializes the broker's durable state — registered users,
-// known bTelco keys, grants, agreed prices, and reputation entries — so a
-// restarted brokerd resumes exactly where it stopped: sessions keep
-// settling and reputation history survives. (Pending unpaired reports and
-// the replay cache are deliberately excluded: reports retransmit, and a
-// restart naturally re-arms replay protection.)
-const snapshotVersion = 1
+// known bTelco keys, grants, agreed prices, reputation entries, and
+// (since v2) live quarantine entries — so a restarted brokerd resumes
+// exactly where it stopped: sessions keep settling, reputation history
+// survives, and a quarantined bTelco stays quarantined through the
+// restart. (Pending unpaired reports, the nonce/resume replay caches,
+// and the auth-decision cache are deliberately excluded: reports
+// retransmit, a restart naturally re-arms replay protection, and cached
+// decisions must never outlive the state they were derived from —
+// Restore clears the cache.)
+const snapshotVersion = 2
 
 // Snapshot encodes the broker's durable state.
 func (b *Brokerd) Snapshot() []byte {
@@ -61,15 +65,24 @@ func (b *Brokerd) Snapshot() []byte {
 	for _, id := range suspects {
 		w.String(id)
 	}
+	w.Uint32(uint32(len(b.quar)))
+	for id, e := range b.quar {
+		w.String(id)
+		w.Uint64(uint64(e.Since))
+		w.Uint64(uint64(e.Until))
+		w.Uint32(uint32(e.Strikes))
+	}
 	mtr.snapshots.Add(1)
 	return w.Out()
 }
 
 // Restore loads a snapshot into a freshly constructed broker (same ID and
-// key as the one that produced it).
+// key as the one that produced it). Both the current v2 format and the
+// quarantine-less v1 format are accepted.
 func (b *Brokerd) Restore(snap []byte) error {
 	r := codec.NewReader(snap)
-	if v := r.Byte(); v != snapshotVersion {
+	v := r.Byte()
+	if v != 1 && v != snapshotVersion {
 		return fmt.Errorf("broker: snapshot version %d unsupported", v)
 	}
 	id := r.String()
@@ -127,9 +140,27 @@ func (b *Brokerd) Restore(snap []byte) error {
 	for i := uint32(0); i < nSusp && r.Err() == nil; i++ {
 		b.verifier.RestoreSuspect(r.String())
 	}
+	if v >= 2 {
+		nQuar := r.Uint32()
+		if nQuar > 0 && b.quar == nil {
+			b.quar = make(map[string]*QuarantineEntry)
+		}
+		for i := uint32(0); i < nQuar && r.Err() == nil; i++ {
+			id := r.String()
+			e := &QuarantineEntry{
+				Since:   time.Duration(r.Uint64()),
+				Until:   time.Duration(r.Uint64()),
+				Strikes: int(r.Uint32()),
+			}
+			b.quar[id] = e
+		}
+	}
 	if err := r.Done(); err != nil {
 		return err
 	}
+	// Cached auth decisions must not survive into the restored state —
+	// the snapshot may carry reputation/quarantine entries they predate.
+	b.clearAuthCacheLocked()
 	mtr.restores.Add(1)
 	return nil
 }

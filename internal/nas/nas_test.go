@@ -154,6 +154,7 @@ func allMessages() []Message {
 		&SecurityModeCommand{CipherAlg: 2, IntegrityAlg: 2, ReplayedCaps: 7},
 		&SecurityModeComplete{},
 		&AttachRequestSAP{BrokerID: "broker.example", AuthReqU: []byte("sealed-blob")},
+		&AttachResume{BrokerID: "broker.example", ResumeReq: []byte("resume-blob")},
 		&AttachAccept{SessionID: 99, IP: "10.1.2.3", BearerID: 5, QCI: 9, DLAmbrBps: 20e6, ULAmbrBps: 5e6, AuthRespU: []byte("resp")},
 		&AttachReject{Cause: "authorization denied"},
 		&DetachRequest{SessionID: 99},
@@ -185,6 +186,20 @@ func TestMessageTypesUnique(t *testing.T) {
 			t.Fatalf("type byte %d shared by %s and %s", ty, prev, name)
 		}
 		seen[ty] = name
+	}
+}
+
+// The resume message was appended after the original set; its type byte
+// (and everyone else's) is wire state shared with deployed peers.
+func TestMessageTypeBytesStable(t *testing.T) {
+	if got := (&AttachRequestSAP{}).Type(); got != 6 {
+		t.Fatalf("AttachRequestSAP type byte moved: %d", got)
+	}
+	if got := (&SessionAccept{}).Type(); got != 12 {
+		t.Fatalf("SessionAccept type byte moved: %d", got)
+	}
+	if got := (&AttachResume{}).Type(); got != 13 {
+		t.Fatalf("AttachResume type byte moved: %d", got)
 	}
 }
 

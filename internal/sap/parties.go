@@ -238,108 +238,26 @@ type GrantRecord struct {
 // bTelco certificate and signature, decrypt authVec, verify the UE
 // signature and membership, enforce replay protection, run policy, mint
 // ss, and emit the two sealed responses. The returned GrantRecord is nil
-// when the response is a denial.
+// when the response is a denial. It composes the three pipeline phases
+// (Validate → Decide → Finalize, see pipeline.go) serially; a batching
+// broker drives the phases directly.
 func (b *BrokerState) HandleRequest(req *AuthReqT) (*AuthResp, *GrantRecord, error) {
-	if req == nil {
-		return nil, nil, ErrBadRequest
+	v, err := b.Validate(req)
+	if err != nil {
+		return nil, nil, err
 	}
-	deny := func(cause string) (*AuthResp, *GrantRecord, error) {
+	if v.DenyCause != "" {
+		return &AuthResp{Granted: false, Cause: v.DenyCause}, nil, nil
+	}
+	params, cause := b.Decide(v, nil)
+	if cause != "" {
 		return &AuthResp{Granted: false, Cause: cause}, nil, nil
 	}
-
-	// 1. Authenticate the bTelco: certificate chains to the anchor, the
-	// certificate's subject matches the claimed idT, and the signature
-	// over the augmented request verifies under the certified key. The
-	// certificate check is memoized: every attach through the same bTelco
-	// carries the same certificate, so only the first pays the Ed25519
-	// verification (expiry is still enforced per call).
-	if err := b.certs.Verify(req.Cert, b.now()); err != nil {
-		return deny("bTelco certificate invalid")
-	}
-	if req.Cert.Role != "btelco" || req.Cert.Subject != req.IDT {
-		return deny("bTelco certificate subject/role mismatch")
-	}
-	if err := req.Cert.Identity.Verify(req.signedBytes(), req.Sig); err != nil {
-		return deny("bTelco signature invalid")
-	}
-
-	// 2. Decrypt and authenticate the UE's vector.
-	if req.ReqU.IDB != b.IDB {
-		return deny("request addressed to a different broker")
-	}
-	pt, err := b.Key.Open(req.ReqU.SealedVec)
-	if err != nil {
-		return deny("authVec undecryptable")
-	}
-	var vec AuthVec
-	if err := vec.unmarshal(pt); err != nil {
-		return deny("authVec malformed")
-	}
-	if vec.IDB != b.IDB {
-		return deny("authVec names a different broker")
-	}
-	b.mu.Lock()
-	pubU, ok := b.users[vec.IDU]
-	revoked := b.revoked[vec.IDU]
-	b.mu.Unlock()
-	if !ok {
-		return deny("unknown user")
-	}
-	if revoked {
-		return deny("user key revoked")
-	}
-	if err := pubU.Verify(req.ReqU.SealedVec, req.ReqU.Sig); err != nil {
-		return deny("UE signature invalid")
-	}
-	// The UE bound this request to a specific bTelco; the forwarding
-	// bTelco must be that one (stops a malicious cell replaying a request
-	// captured at another bTelco).
-	if vec.IDT != req.IDT {
-		return deny("bTelco identity mismatch")
-	}
-	b.mu.Lock()
-	fresh := b.nonces.add(vec.Nonce)
-	b.mu.Unlock()
-	if !fresh {
-		return deny("replayed nonce")
-	}
-
-	// 3. Policy decision.
-	params, err := b.Policy.Authorize(vec.IDU, req.IDT, req.Terms)
-	if err != nil {
-		return deny("authorization denied: " + err.Error())
-	}
-	if err := params.Validate(req.Terms.Cap); err != nil {
-		return deny("policy selected unsupportable QoS: " + err.Error())
-	}
-
-	// 4. Mint ss and the opaque session reference, then seal+sign both
-	// responses.
-	ss, err := NewMasterSecret()
+	ss, uref, err := MintSession()
 	if err != nil {
 		return nil, nil, err
 	}
-	uref, err := newURef()
-	if err != nil {
-		return nil, nil, err
-	}
-	respT := innerRespT{URef: uref, IDT: req.IDT, SS: ss, Params: params, LI: req.Terms.LawfulIntercept}
-	sealedT, err := pki.Seal(req.Cert.Identity, respT.marshal())
-	if err != nil {
-		return nil, nil, fmt.Errorf("sap: seal authRespT: %w", err)
-	}
-	respU := innerRespU{IDU: vec.IDU, IDT: req.IDT, URef: uref, SS: ss, Nonce: vec.Nonce}
-	sealedU, err := pki.Seal(pubU, respU.marshal())
-	if err != nil {
-		return nil, nil, fmt.Errorf("sap: seal authRespU: %w", err)
-	}
-	resp := &AuthResp{
-		Granted: true,
-		T:       AuthRespT{Sealed: sealedT, Sig: b.Key.Sign(sealedT)},
-		U:       AuthRespU{Sealed: sealedU, Sig: b.Key.Sign(sealedU)},
-	}
-	rec := &GrantRecord{URef: uref, IDU: vec.IDU, IDT: req.IDT, SS: ss, Terms: req.Terms, QoS: params}
-	return resp, rec, nil
+	return b.Finalize(v, params, ss, uref)
 }
 
 func newURef() (string, error) {

@@ -1,0 +1,179 @@
+package sap
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"cellbricks/internal/codec"
+	"cellbricks/internal/nas"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/qos"
+)
+
+// This file splits broker-side SAP request handling into three phases so
+// a batching broker can pipeline them (SoftCell-style aggregation at the
+// core gateway):
+//
+//   - Validate: every stateless crypto check — certificate, signatures,
+//     decryption, membership. Safe to run for many requests in parallel.
+//   - Decide: the order-sensitive state mutation — replay filter and
+//     authorization policy. Must run in arrival order.
+//   - Finalize: sealing and signing the two responses for a pre-minted
+//     (ss, uref). Stateless again, so a batch signs grants in parallel.
+//
+// HandleRequest (parties.go) composes the three phases back into the
+// serial path; broker.Batcher drives them directly.
+
+// ValidatedAuth is the outcome of the Validate phase for one request.
+// When DenyCause is non-empty, validation already failed and Decide /
+// Finalize must not run.
+type ValidatedAuth struct {
+	Req       *AuthReqT
+	Vec       AuthVec
+	PubU      pki.PublicIdentity
+	DenyCause string
+}
+
+// Validate runs the stateless half of the broker procedures of Fig. 3:
+// authenticate the bTelco (certificate and signature), decrypt and
+// authenticate the UE's vector, and check membership. It touches no
+// order-sensitive state (the replay filter and policy live in Decide), so
+// any number of Validate calls may run concurrently. The error is non-nil
+// only for a nil request; protocol failures land in DenyCause.
+func (b *BrokerState) Validate(req *AuthReqT) (*ValidatedAuth, error) {
+	if req == nil {
+		return nil, ErrBadRequest
+	}
+	v := &ValidatedAuth{Req: req}
+	deny := func(cause string) (*ValidatedAuth, error) {
+		v.DenyCause = cause
+		return v, nil
+	}
+
+	// 1. Authenticate the bTelco: certificate chains to the anchor, the
+	// certificate's subject matches the claimed idT, and the signature
+	// over the augmented request verifies under the certified key. The
+	// certificate check is memoized: every attach through the same bTelco
+	// carries the same certificate, so only the first pays the Ed25519
+	// verification (expiry is still enforced per call).
+	if err := b.certs.Verify(req.Cert, b.now()); err != nil {
+		return deny("bTelco certificate invalid")
+	}
+	if req.Cert.Role != "btelco" || req.Cert.Subject != req.IDT {
+		return deny("bTelco certificate subject/role mismatch")
+	}
+	if err := req.Cert.Identity.Verify(req.signedBytes(), req.Sig); err != nil {
+		return deny("bTelco signature invalid")
+	}
+
+	// 2. Decrypt and authenticate the UE's vector.
+	if req.ReqU.IDB != b.IDB {
+		return deny("request addressed to a different broker")
+	}
+	pt, err := b.Key.Open(req.ReqU.SealedVec)
+	if err != nil {
+		return deny("authVec undecryptable")
+	}
+	if err := v.Vec.unmarshal(pt); err != nil {
+		return deny("authVec malformed")
+	}
+	if v.Vec.IDB != b.IDB {
+		return deny("authVec names a different broker")
+	}
+	b.mu.Lock()
+	pubU, ok := b.users[v.Vec.IDU]
+	revoked := b.revoked[v.Vec.IDU]
+	b.mu.Unlock()
+	if !ok {
+		return deny("unknown user")
+	}
+	if revoked {
+		return deny("user key revoked")
+	}
+	if err := pubU.Verify(req.ReqU.SealedVec, req.ReqU.Sig); err != nil {
+		return deny("UE signature invalid")
+	}
+	// The UE bound this request to a specific bTelco; the forwarding
+	// bTelco must be that one (stops a malicious cell replaying a request
+	// captured at another bTelco).
+	if v.Vec.IDT != req.IDT {
+		return deny("bTelco identity mismatch")
+	}
+	v.PubU = pubU
+	return v, nil
+}
+
+// Decide runs the order-sensitive phase for a validated request: the
+// replay filter and the authorization policy. policy overrides b.Policy
+// when non-nil — a batching broker passes a variant that assumes its own
+// lock is already held. A non-empty cause is a denial.
+func (b *BrokerState) Decide(v *ValidatedAuth, policy Authorizer) (qos.Params, string) {
+	b.mu.Lock()
+	fresh := b.nonces.add(v.Vec.Nonce)
+	b.mu.Unlock()
+	if !fresh {
+		return qos.Params{}, "replayed nonce"
+	}
+	if policy == nil {
+		policy = b.Policy
+	}
+	params, err := policy.Authorize(v.Vec.IDU, v.Req.IDT, v.Req.Terms)
+	if err != nil {
+		return qos.Params{}, "authorization denied: " + err.Error()
+	}
+	if err := params.Validate(v.Req.Terms.Cap); err != nil {
+		return qos.Params{}, "policy selected unsupportable QoS: " + err.Error()
+	}
+	return params, ""
+}
+
+// MintSession draws a fresh shared secret and opaque session reference
+// for a granted request. Thread-safe and order-free: the batching broker
+// mints inline while committing decisions.
+func MintSession() (nas.MasterKey, string, error) {
+	ss, err := NewMasterSecret()
+	if err != nil {
+		return ss, "", err
+	}
+	uref, err := newURef()
+	if err != nil {
+		return ss, "", err
+	}
+	return ss, uref, nil
+}
+
+// Finalize seals and signs the two responses for a granted request using
+// a pre-minted (ss, uref). Stateless: a batching broker finalizes many
+// grants in parallel after their decisions committed in arrival order.
+func (b *BrokerState) Finalize(v *ValidatedAuth, params qos.Params, ss nas.MasterKey, uref string) (*AuthResp, *GrantRecord, error) {
+	req := v.Req
+	respT := innerRespT{URef: uref, IDT: req.IDT, SS: ss, Params: params, LI: req.Terms.LawfulIntercept}
+	sealedT, err := pki.Seal(req.Cert.Identity, respT.marshal())
+	if err != nil {
+		return nil, nil, fmt.Errorf("sap: seal authRespT: %w", err)
+	}
+	respU := innerRespU{IDU: v.Vec.IDU, IDT: req.IDT, URef: uref, SS: ss, Nonce: v.Vec.Nonce}
+	sealedU, err := pki.Seal(v.PubU, respU.marshal())
+	if err != nil {
+		return nil, nil, fmt.Errorf("sap: seal authRespU: %w", err)
+	}
+	resp := &AuthResp{
+		Granted: true,
+		T:       AuthRespT{Sealed: sealedT, Sig: b.Key.Sign(sealedT)},
+		U:       AuthRespU{Sealed: sealedU, Sig: b.Key.Sign(sealedU)},
+	}
+	rec := &GrantRecord{URef: uref, IDU: v.Vec.IDU, IDT: req.IDT, SS: ss, Terms: req.Terms, QoS: params}
+	return resp, rec, nil
+}
+
+// Fingerprint returns a stable 64-bit digest of the terms (FNV-1a over
+// the canonical encoding). ServiceTerms itself is not comparable (the
+// capability holds a QCI slice), so this digest is the comparable key the
+// broker's auth-decision cache needs.
+func (t ServiceTerms) Fingerprint() uint64 {
+	w := codec.NewWriter(64)
+	marshalTerms(w, t)
+	h := fnv.New64a()
+	h.Write(w.Out())
+	return h.Sum64()
+}

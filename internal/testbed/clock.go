@@ -1,7 +1,12 @@
 // Package testbed wires the CellBricks components into runnable
-// experiments: the prototype attachment benchmark (Fig. 7), the wide-area
-// mobility emulation (Table 1, Figs. 8-10), and the real-socket loopback
-// deployment used for end-to-end integration tests.
+// experiments: the prototype attachment benchmark (Fig. 7), the
+// wide-area mobility emulation (Table 1, Figs. 8-10), the
+// fault-injection failover run, the sharded multi-cell scale sweep, the
+// Byzantine quarantine soak, the open-loop attach storm, and the
+// real-socket loopback deployment used for end-to-end integration
+// tests. Entry points are the Run* functions (RunAttach, RunDrive,
+// RunFailover, RunScale, RunByzantine, RunStorm, ...), each
+// deterministic per seed and byte-identical for any shard count.
 package testbed
 
 import (

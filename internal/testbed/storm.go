@@ -1,0 +1,912 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cellbricks/internal/apps"
+	"cellbricks/internal/billing"
+	"cellbricks/internal/broker"
+	"cellbricks/internal/nas"
+	"cellbricks/internal/netem"
+	"cellbricks/internal/pki"
+	"cellbricks/internal/qos"
+	"cellbricks/internal/sap"
+	"cellbricks/internal/ue"
+
+	"math/rand"
+)
+
+// This file is the attach storm: an open-loop workload that drives the
+// broker's control plane the way a stadium letting out drives a real
+// one — a seeded Poisson arrival process whose rate ramps over the run
+// and multiplies through a flash-crowd spike window — and measures how
+// the broker survives it with the three §4.2-adjacent mechanisms this
+// repo grew for the purpose:
+//
+//   - batching: attach handshakes, fast-path resumes and billing
+//     reports arriving within one sim-clock window coalesce into a
+//     single broker state transaction (broker.Batcher);
+//   - caching: granted authorization decisions are memoized and
+//     seq-invalidated (broker.EnableAuthCache), and UEs re-attach over
+//     the HMAC resume fast path instead of the full asymmetric
+//     handshake whenever they hold a live ticket;
+//   - admission control: a token-bucket + queue-depth shedder refuses
+//     attaches the broker cannot absorb, answering with the typed
+//     retry-after hint ue.AttachFSM floors its backoff at.
+//
+// Both execution modes — Serial (baseline: every item through the
+// single-request handlers) and the default optimized pipeline — share
+// one arrival schedule, one admission gate and one flush cadence, so
+// the rendered result is byte-identical across the two AND across any
+// shard count; only the wall-clock (Metrics) numbers differ. That
+// identity is the whole point: the CI gate hashes the render across
+// {K=1, K=4} x {serial, batch} and the bench compares the wall-clock
+// attach throughput at the spike.
+//
+// Determinism follows the byzantine soak's recipe (see byzantine.go):
+// broker state mutates only inside shard-0 handlers, every entity owns
+// a seeded rng, and every cross-shard send rides its sender's private
+// time lattice with prime-offset gateway delays so no two arrivals
+// ever tie. Two storm-specific rules are layered on top:
+//
+//   - The UE consumes its resume ticket optimistically at attempt time
+//     and ticket bookkeeping runs on EVERY completion (only session
+//     adoption is attach-seq guarded), with the ticket restored when
+//     admission sheds the attempt — so the optimized mode never
+//     presents a stale single-use ticket and both modes see zero
+//     denials on honest traffic.
+//   - The flush tick runs on shard 0 at a sub-millisecond phase no
+//     packet arrival can occupy, pairing Batcher.Flush outcomes with
+//     their completion callbacks in enqueue order.
+
+// StormConfig parameterizes one attach-storm run.
+type StormConfig struct {
+	Seed     int64
+	Duration time.Duration // emulated horizon (default 30 s)
+
+	// Topology: like the soak, UEs and cells live in fault-isolated
+	// groups, group g on shard g mod K (defaults 4 / 2 / 25 = 100 UEs).
+	Groups        int
+	CellsPerGroup int
+	UEsPerGroup   int
+
+	// Arrival process, fleet-wide attaches per second: BaseRate at t=0
+	// ramping linearly to PeakRate at the horizon (default 40 -> 80),
+	// multiplied by Spike inside [SpikeAt, SpikeAt+SpikeDur) (defaults
+	// x8 at Duration/2 for Duration/6).
+	BaseRate float64
+	PeakRate float64
+	Spike    float64
+	SpikeAt  time.Duration
+	SpikeDur time.Duration
+
+	// Window is the batcher's flush cadence (default 10 ms);
+	// ReportEvery the billing cadence per session (default 2 s).
+	Window      time.Duration
+	ReportEvery time.Duration
+
+	// Admission tunes the shedder; the zero value defaults to
+	// rate 2xBaseRate, burst BaseRate, max queue 48, hint 500 ms.
+	Admission broker.AdmissionConfig
+
+	// Serial selects the baseline execution strategy: per-item handlers,
+	// no auth cache, no resume fast path. The zero value is the
+	// optimized pipeline. Rendered output is identical either way.
+	Serial bool
+
+	// Retry tunes the UE attach machine (default: 6 attempts, 2 s max
+	// backoff, 20% jitter).
+	Retry ue.RetryPolicy
+
+	// Shards is the netem.World shard count (default 1); output is
+	// byte-identical for any value.
+	Shards int
+}
+
+// Defaults fills zero fields.
+func (c StormConfig) Defaults() StormConfig {
+	if c.Duration == 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.Groups <= 0 {
+		c.Groups = 4
+	}
+	if c.CellsPerGroup <= 0 {
+		c.CellsPerGroup = 2
+	}
+	if c.UEsPerGroup <= 0 {
+		c.UEsPerGroup = 25
+	}
+	if c.BaseRate == 0 {
+		c.BaseRate = 40
+	}
+	if c.PeakRate == 0 {
+		c.PeakRate = 2 * c.BaseRate
+	}
+	if c.Spike == 0 {
+		c.Spike = 8
+	}
+	if c.SpikeAt == 0 {
+		c.SpikeAt = c.Duration / 2
+	}
+	if c.SpikeDur == 0 {
+		c.SpikeDur = c.Duration / 6
+	}
+	if c.Window == 0 {
+		c.Window = 10 * time.Millisecond
+	}
+	if c.ReportEvery == 0 {
+		c.ReportEvery = 2 * time.Second
+	}
+	if c.Admission == (broker.AdmissionConfig{}) {
+		c.Admission = broker.AdmissionConfig{
+			Rate:       2 * c.BaseRate,
+			Burst:      c.BaseRate,
+			MaxQueue:   48,
+			RetryAfter: 500 * time.Millisecond,
+		}
+	}
+	if c.Retry.MaxAttempts == 0 {
+		c.Retry.MaxAttempts = 6
+	}
+	if c.Retry.MaxBackoff == 0 {
+		c.Retry.MaxBackoff = 2 * time.Second
+	}
+	if c.Retry.JitterFrac == 0 {
+		c.Retry.JitterFrac = 0.2
+	}
+	c.Retry = c.Retry.WithDefaults()
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	return c
+}
+
+// inSpike reports whether instant t falls inside the flash-crowd window.
+func (c StormConfig) inSpike(t time.Duration) bool {
+	return t >= c.SpikeAt && t < c.SpikeAt+c.SpikeDur
+}
+
+// rateAt is the fleet-wide arrival intensity at instant t.
+func (c StormConfig) rateAt(t time.Duration) float64 {
+	r := c.BaseRate + (c.PeakRate-c.BaseRate)*float64(t)/float64(c.Duration)
+	if c.inSpike(t) {
+		r *= c.Spike
+	}
+	return r
+}
+
+const (
+	stormBrokerName = "storm-broker"
+	stormCtrlSize   = 600
+	// stormFlushPhase is the sub-millisecond phase of the batch flush
+	// tick on shard 0. UE lattice phases are whole microseconds and
+	// gateway delays add g*1009 ns per hop, so no packet arrival lands
+	// on a half-microsecond instant for any plausible group count — the
+	// flush never ties with a handler (same argument as byzSLOPhase).
+	stormFlushPhase = 999500 * time.Nanosecond
+)
+
+// StormResult is the outcome of one storm run. Every field above
+// Metrics derives from virtual time and seeded randomness — Render
+// uses only those. Metrics carries the wall-clock performance numbers
+// (which legitimately differ run to run and mode to mode).
+type StormResult struct {
+	Config StormConfig
+
+	Arrivals int // storm arrivals fired
+	Attempts int // attach attempts (first tries and retries)
+	Attaches int // attach grants adopted by their UE
+	Grants   int // broker grants (includes grants a UE outraced)
+	Resumes  int // grants served over the resume fast path (0 serial)
+	Denied   int // broker denials
+	Sheds    int // attempts refused by admission control
+	Retries  int
+	GiveUps  int
+
+	SpikeArrivals int
+	SpikeGrants   int
+	SpikeSheds    int
+
+	Admitted   uint64 // admission-control grants
+	RateSheds  uint64
+	QueueSheds uint64
+
+	LatMS []float64 // attach latency samples, storm start to adoption
+
+	Sessions      int
+	Reports       int
+	Mismatches    int
+	PaidUnits     float64
+	VerifiedBytes uint64
+	Availability  float64
+
+	// Wall-clock segments (pre-spike, spike, post-spike) and derived
+	// throughput — Metrics-only, never rendered.
+	WallPre, WallSpike, WallPost time.Duration
+	CacheHits, CacheMisses       uint64
+	BatchFlushes, BatchItems     uint64
+}
+
+type stormSession struct {
+	ue    *stormUE
+	cell  *stormCell
+	uref  string
+	start time.Duration
+	live  bool
+	dl    uint64
+	seq   uint32
+}
+
+type stormCell struct {
+	grp   *stormGroup
+	idx   int
+	idT   string
+	telco *sap.TelcoState
+	// resumeSS maps live session references to their shared secret —
+	// the bTelco-side state the resume fast path co-signs with.
+	resumeSS map[string]nas.MasterKey
+	sessions []*stormSession
+}
+
+type stormUE struct {
+	grp    *stormGroup
+	idx    int
+	global int
+	phase  time.Duration
+	rng    *rand.Rand
+
+	st    *sap.UEState
+	meter *ue.BasebandMeter
+
+	sess      *stormSession
+	attachSeq int
+	fsm       *ue.AttachFSM
+	prefer    int
+	// resume holds the per-cell fast-path ticket (optimized mode only).
+	// A ticket is consumed optimistically at attempt time and restored
+	// if admission sheds the attempt before the broker saw it.
+	resume []*sap.ResumeSession
+
+	stormStart    time.Duration
+	attachedSince time.Duration
+	attachedDur   time.Duration
+}
+
+type stormGroup struct {
+	w      *stormWorld
+	idx    int
+	sim    *netem.Sim
+	gwName string
+	cells  []*stormCell
+	ues    []*stormUE
+
+	// Shard-local tallies, merged after the run.
+	arrivals, spikeArrivals    int
+	attempts, attaches, denied int
+	retries, giveups, resumes  int
+	latMS                      []float64
+}
+
+type stormWorld struct {
+	cfg       StormConfig
+	world     *netem.World
+	sim0      *netem.Sim
+	groups    []*stormGroup
+	brk       *broker.Brokerd
+	bat       *broker.Batcher
+	brokerPub pki.PublicIdentity
+
+	// Shard-0 state: written only by broker-endpoint handlers and the
+	// flush tick. pending pairs, in enqueue order, with the outcomes
+	// the next Flush returns.
+	pending     []func(broker.BatchOutcome)
+	grants      int
+	spikeGrants int
+	denied      int
+	sheds       int
+	spikeSheds  int
+	reports     int
+	mismatches  int
+
+	runErr error
+}
+
+func (w *stormWorld) fail(err error) {
+	if w.runErr == nil && err != nil {
+		w.runErr = err
+	}
+}
+
+// toBroker ships a closure to the broker endpoint over group g's gateway
+// link; it executes on shard 0 in canonical arrival order.
+func (w *stormWorld) toBroker(g int, fn func()) {
+	grp := w.groups[g]
+	pkt := grp.sim.GetPacket()
+	pkt.Src, pkt.Dst, pkt.Size = grp.gwName, stormBrokerName, stormCtrlSize
+	pkt.Payload = byzMsg{fn}
+	grp.sim.Send(pkt)
+}
+
+// toGroup ships a closure from the broker back to group g's gateway; it
+// executes on g's shard.
+func (w *stormWorld) toGroup(g int, fn func()) {
+	grp := w.groups[g]
+	pkt := w.sim0.GetPacket()
+	pkt.Src, pkt.Dst, pkt.Size = stormBrokerName, grp.gwName, stormCtrlSize
+	pkt.Payload = byzMsg{fn}
+	w.sim0.Send(pkt)
+}
+
+func newStormWorld(cfg StormConfig) (*stormWorld, error) {
+	world := netem.NewWorld(cfg.Seed, cfg.Shards)
+	w := &stormWorld{cfg: cfg, world: world, sim0: world.Shard(0)}
+
+	epoch := time.Unix(1_760_000_000, 0)
+	ca, err := pki.NewCAFromSeed("storm-ca", byzSeed(201, 0))
+	if err != nil {
+		return nil, err
+	}
+	brokerKey, err := pki.KeyPairFromSeed(byzSeed(202, 0))
+	if err != nil {
+		return nil, err
+	}
+	bcfg := broker.DefaultConfig(stormBrokerName, brokerKey, ca.Public())
+	bcfg.Now = func() time.Time { return epoch }
+	w.brk = broker.New(bcfg)
+	w.brokerPub = brokerKey.Public()
+	// The shedder refills on virtual time, so shedding is part of the
+	// deterministic output; the auth cache and the batch pipeline are
+	// the optimized mode's machinery.
+	w.brk.EnableAdmission(cfg.Admission, w.sim0.Now)
+	if !cfg.Serial {
+		w.brk.EnableAuthCache(4096)
+	}
+	w.bat = w.brk.NewBatcher(cfg.Serial)
+
+	G, C, U := cfg.Groups, cfg.CellsPerGroup, cfg.UEsPerGroup
+	nUE := G * U
+	if nUE+1 >= 1000 {
+		return nil, fmt.Errorf("testbed: storm supports at most 999 UEs (lattice phases), got %d", nUE)
+	}
+
+	w.world.Place(stormBrokerName, 0)
+	w.world.Register(stormBrokerName, func(p *netem.Packet) {
+		if m, ok := p.Payload.(byzMsg); ok {
+			m.fn()
+		}
+	})
+
+	for g := 0; g < G; g++ {
+		shard := g % cfg.Shards
+		grp := &stormGroup{
+			w:      w,
+			idx:    g,
+			sim:    world.Shard(shard),
+			gwName: fmt.Sprintf("storm-gw-%d", g),
+		}
+		w.groups = append(w.groups, grp)
+		w.world.Place(grp.gwName, shard)
+		w.world.Register(grp.gwName, func(p *netem.Packet) {
+			if m, ok := p.Payload.(byzMsg); ok {
+				m.fn()
+			}
+		})
+		// Prime-offset delays: control packets from different groups
+		// never tie at the broker (see the byzantine recipe).
+		w.world.Connect(grp.gwName, stormBrokerName, &netem.Link{
+			Delay: 10*time.Millisecond + time.Duration(g)*1009*time.Nanosecond,
+		})
+
+		for c := 0; c < C; c++ {
+			global := g*C + c
+			key, err := pki.KeyPairFromSeed(byzSeed(210, global))
+			if err != nil {
+				return nil, err
+			}
+			idT := fmt.Sprintf("storm-telco-%d-%d", g, c)
+			cert := ca.Issue(idT, "btelco", key.Public(), epoch.Add(-time.Hour), epoch.Add(24*time.Hour))
+			grp.cells = append(grp.cells, &stormCell{
+				grp: grp,
+				idx: c,
+				idT: idT,
+				telco: &sap.TelcoState{
+					IDT: idT, Key: key, Cert: cert,
+					Terms: sap.ServiceTerms{Cap: qos.DefaultCapability(), PricePerGB: 1.0},
+				},
+				resumeSS: make(map[string]nas.MasterKey),
+			})
+		}
+
+		for j := 0; j < U; j++ {
+			global := g*U + j
+			key, err := pki.KeyPairFromSeed(byzSeed(220, global))
+			if err != nil {
+				return nil, err
+			}
+			idU := w.brk.RegisterUser(key.Public())
+			u := &stormUE{
+				grp:    grp,
+				idx:    j,
+				global: global,
+				phase:  time.Duration(global+1) * time.Microsecond,
+				rng:    rand.New(rand.NewSource(cfg.Seed + 5000 + int64(global))),
+				st: &sap.UEState{
+					IDU: idU, IDB: stormBrokerName, Key: key, BrokerPub: w.brokerPub,
+				},
+				resume: make([]*sap.ResumeSession, C),
+			}
+			u.meter = ue.NewBasebandMeter(key, w.brokerPub)
+			grp.ues = append(grp.ues, u)
+		}
+	}
+
+	// Pre-draw every UE's arrival schedule by thinning a homogeneous
+	// Poisson process at the envelope rate: accepted points follow the
+	// ramp-and-spike intensity exactly, and because the draws happen
+	// here — before the clock starts, from the UE's private rng — the
+	// schedule is identical for any shard count and both modes.
+	spikeMul := cfg.Spike
+	if spikeMul < 1 {
+		spikeMul = 1
+	}
+	peak := cfg.PeakRate
+	if cfg.BaseRate > peak {
+		peak = cfg.BaseRate
+	}
+	lambdaMax := peak * spikeMul / float64(nUE)
+	for _, grp := range w.groups {
+		for _, u := range grp.ues {
+			u := u
+			t := time.Duration(0)
+			for {
+				t += time.Duration(u.rng.ExpFloat64() / lambdaMax * float64(time.Second))
+				if t >= cfg.Duration {
+					break
+				}
+				if u.rng.Float64()*lambdaMax > cfg.rateAt(t)/float64(nUE) {
+					continue // thinned: envelope point outside the intensity
+				}
+				at := latticeAt(t, u.phase)
+				if at >= cfg.Duration {
+					break
+				}
+				grp.sim.At(at, u.arrive)
+			}
+		}
+	}
+
+	// Flush tick: shard 0, every Window, at a phase nothing else can
+	// occupy. Outcomes pair with pending callbacks in enqueue order.
+	var flushTick func()
+	flushTick = func() {
+		outs := w.bat.Flush()
+		pend := w.pending
+		w.pending = nil
+		if len(outs) != len(pend) {
+			w.fail(fmt.Errorf("testbed: storm flush returned %d outcomes for %d callbacks", len(outs), len(pend)))
+			return
+		}
+		for i, fn := range pend {
+			fn(outs[i])
+		}
+		if next := latticeAt(w.sim0.Now()+cfg.Window, stormFlushPhase); next < cfg.Duration {
+			w.sim0.At(next, flushTick)
+		}
+	}
+	w.sim0.At(latticeAt(0, stormFlushPhase), flushTick)
+	return w, nil
+}
+
+// arrive is one storm arrival: the subscriber (re)starts its attach —
+// detaching first if attached, as the paper's mobility story has it —
+// preferring the next cell in its rotation.
+func (u *stormUE) arrive() {
+	w := u.grp.w
+	if w.runErr != nil {
+		return
+	}
+	now := u.grp.sim.Now()
+	u.grp.arrivals++
+	if w.cfg.inSpike(now) {
+		u.grp.spikeArrivals++
+	}
+	u.detach()
+	u.attachSeq++
+	u.prefer = u.attachSeq % len(u.grp.cells)
+	u.stormStart = now
+	u.fsm = ue.NewAttachFSM(w.cfg.Retry, len(u.grp.cells), u.rng)
+	u.attempt(u.attachSeq)
+}
+
+func (u *stormUE) detach() {
+	s := u.sess
+	if s == nil {
+		return
+	}
+	s.live = false
+	u.sess = nil
+	u.attachedDur += u.grp.sim.Now() - u.attachedSince
+}
+
+// after schedules fn on this UE's private time lattice.
+func (u *stormUE) after(d time.Duration, fn func()) {
+	u.grp.sim.At(latticeAt(u.grp.sim.Now()+d, u.phase), fn)
+}
+
+// attempt runs one attach attempt. In optimized mode a UE holding a
+// live ticket for the chosen cell goes over the resume fast path; the
+// ticket is consumed NOW (optimistically) so an overlapping attempt can
+// never replay it, and restored only if admission sheds this attempt
+// before the broker consumed it. Serial mode always runs the full
+// handshake — the sends are identically timed either way, which is what
+// keeps the two modes byte-identical.
+func (u *stormUE) attempt(seq int) {
+	w := u.grp.w
+	if seq != u.attachSeq || w.runErr != nil {
+		return
+	}
+	C := len(u.grp.cells)
+	ci := (u.prefer + u.fsm.Candidate()) % C
+	cell := u.grp.cells[ci]
+	u.grp.attempts++
+	g := u.grp.idx
+
+	if !w.cfg.Serial {
+		if tkt := u.resume[ci]; tkt != nil {
+			ss, live := cell.resumeSS[tkt.URef]
+			u.resume[ci] = nil
+			if live {
+				req, err := tkt.NewResumeRequest()
+				if err != nil {
+					w.fail(err)
+					return
+				}
+				if err := cell.telco.ForwardResume(req, ss); err != nil {
+					w.fail(err) // our own ticket failed its MAC: a bug
+					return
+				}
+				tkt, ssOld := tkt, ss
+				w.toBroker(g, func() {
+					if err := w.brk.AdmitAttach(w.bat.Depth()); err != nil {
+						w.tallyShed()
+						w.toGroup(g, func() {
+							u.resume[ci] = tkt // broker never saw it
+							u.failAttach(seq, err)
+						})
+						return
+					}
+					w.bat.EnqueueResume(req)
+					w.pending = append(w.pending, func(out broker.BatchOutcome) {
+						w.tallyAttach(out)
+						w.toGroup(g, func() { u.finishResume(seq, ci, tkt, req, ssOld, out) })
+					})
+				})
+				return
+			}
+		}
+	}
+
+	reqU, pending, err := u.st.NewAttachRequest(cell.idT)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	reqT, err := cell.telco.ForwardRequest(reqU)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	w.toBroker(g, func() {
+		if err := w.brk.AdmitAttach(w.bat.Depth()); err != nil {
+			w.tallyShed()
+			w.toGroup(g, func() { u.failAttach(seq, err) })
+			return
+		}
+		w.bat.EnqueueAuth(reqT)
+		w.pending = append(w.pending, func(out broker.BatchOutcome) {
+			w.tallyAttach(out)
+			w.toGroup(g, func() { u.finishFull(seq, ci, pending, out) })
+		})
+	})
+}
+
+// tallyShed and tallyAttach run on shard 0 and classify against the
+// broker clock — flush and admission instants are mode-invariant, so
+// these rendered counters are too.
+func (w *stormWorld) tallyShed() {
+	w.sheds++
+	if w.cfg.inSpike(w.sim0.Now()) {
+		w.spikeSheds++
+	}
+}
+
+func (w *stormWorld) tallyAttach(out broker.BatchOutcome) {
+	granted := (out.Auth != nil && out.Auth.Granted) || (out.Resume != nil && out.Resume.Granted)
+	switch {
+	case granted:
+		w.grants++
+		if w.cfg.inSpike(w.sim0.Now()) {
+			w.spikeGrants++
+		}
+	case out.Auth != nil || out.Resume != nil:
+		w.denied++
+	}
+}
+
+func (u *stormUE) failAttach(seq int, err error) {
+	if seq != u.attachSeq {
+		return
+	}
+	delay, giveUp := u.fsm.Fail(err)
+	if giveUp {
+		u.grp.giveups++
+		return // wait for the next storm arrival
+	}
+	u.grp.retries++
+	u.after(delay, func() { u.attempt(seq) })
+}
+
+// finishFull completes a full-handshake attempt. Ticket bookkeeping
+// runs on EVERY grant — even one the UE outraced with a newer attach —
+// so the bTelco's resumeSS map and the UE's ticket shelf always agree
+// with the broker's single-use ledger; only session adoption is
+// seq-guarded.
+func (u *stormUE) finishFull(seq, ci int, pending *sap.PendingAttach, out broker.BatchOutcome) {
+	w := u.grp.w
+	if out.Err != nil {
+		u.failAttach(seq, out.Err)
+		return
+	}
+	cell := u.grp.cells[ci]
+	grant, respU, err := cell.telco.HandleResponse(w.brokerPub, out.Auth)
+	if err != nil {
+		u.failAttach(seq, err)
+		return
+	}
+	ss, uref, err := u.st.HandleResponse(pending, respU)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	if !w.cfg.Serial {
+		u.resume[ci] = &sap.ResumeSession{IDT: cell.idT, URef: uref, SS: ss}
+		cell.resumeSS[uref] = grant.SS
+	}
+	if seq != u.attachSeq {
+		return
+	}
+	u.attachTo(ci, uref)
+}
+
+// finishResume completes a fast-path attempt (optimized mode only).
+// Like finishFull, the single-use bookkeeping — retire the consumed
+// reference, shelve the successor ticket — is unconditional.
+func (u *stormUE) finishResume(seq, ci int, tkt *sap.ResumeSession, req *sap.ResumeReq, ssOld nas.MasterKey, out broker.BatchOutcome) {
+	w := u.grp.w
+	if out.Err != nil {
+		w.fail(out.Err)
+		return
+	}
+	cell := u.grp.cells[ci]
+	if !out.Resume.Granted {
+		// Honest storms never reach here; the broker's ledger and ours
+		// agree by construction. Fall back like any denial.
+		u.failAttach(seq, fmt.Errorf("testbed: resume denied: %s", out.Resume.Cause))
+		return
+	}
+	grant2, err := cell.telco.AcceptResume(req, out.Resume, ssOld)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	delete(cell.resumeSS, req.URef)
+	cell.resumeSS[grant2.URef] = grant2.SS
+	next, _, err := tkt.HandleResumeResponse(req, out.Resume)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	u.resume[ci] = next
+	u.grp.resumes++
+	if seq != u.attachSeq {
+		return
+	}
+	u.attachTo(ci, grant2.URef)
+}
+
+// attachTo adopts a granted session: latency sample, billing meter
+// rebind, and the report chain.
+func (u *stormUE) attachTo(ci int, uref string) {
+	now := u.grp.sim.Now()
+	u.grp.attaches++
+	u.grp.latMS = append(u.grp.latMS, float64(now-u.stormStart)/float64(time.Millisecond))
+	cell := u.grp.cells[ci]
+	s := &stormSession{ue: u, cell: cell, uref: uref, start: now, live: true}
+	cell.sessions = append(cell.sessions, s)
+	u.sess = s
+	u.attachedSince = now
+	u.meter.StartSession()
+	u.meter.BindSession(uref)
+	u.grp.sim.At(latticeAt(now+u.grp.w.cfg.ReportEvery, u.phase), func() { u.reportTick(s) })
+}
+
+// reportTick emits the aligned billing pair for session s: synthetic
+// but deterministic usage counted into both the UE baseband meter and
+// the bTelco's per-session counter (honest traffic — the verifier must
+// stay silent). Both reports ride one control packet, so the broker
+// ingests UE-then-telco per cycle in both modes.
+func (u *stormUE) reportTick(s *stormSession) {
+	w := u.grp.w
+	if u.sess != s || w.runErr != nil {
+		return
+	}
+	now := u.grp.sim.Now()
+	n := 32<<10 + (u.global%17)*997
+	u.meter.CountDL(n)
+	s.dl += uint64(n)
+	s.seq++
+	rel := now - s.start
+	ueEnv, err := u.meter.Report(rel)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	tr := &billing.Report{
+		SessionRef: s.uref,
+		Reporter:   billing.ReporterTelco,
+		Seq:        s.seq,
+		Rel:        rel,
+		DLBytes:    s.dl,
+	}
+	tEnv, err := billing.Seal(tr, s.cell.telco.Key, w.brokerPub)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	g := u.grp.idx
+	w.toBroker(g, func() {
+		w.reports += 2
+		w.bat.EnqueueReport(ueEnv)
+		w.bat.EnqueueReport(tEnv)
+		w.pending = append(w.pending, w.reportOutcome, w.reportOutcome)
+	})
+	u.grp.sim.At(latticeAt(now+w.cfg.ReportEvery, u.phase), func() { u.reportTick(s) })
+}
+
+func (w *stormWorld) reportOutcome(out broker.BatchOutcome) {
+	if out.Mismatch != nil {
+		w.mismatches++
+	}
+	if out.Err != nil {
+		w.fail(fmt.Errorf("testbed: storm report rejected: %w", out.Err))
+	}
+}
+
+// collect builds the result after the world has run to the horizon.
+func (w *stormWorld) collect() StormResult {
+	cfg := w.cfg
+	res := StormResult{
+		Config: cfg,
+		Grants: w.grants, SpikeGrants: w.spikeGrants, Denied: w.denied,
+		Sheds: w.sheds, SpikeSheds: w.spikeSheds,
+		Reports: w.reports, Mismatches: w.mismatches,
+	}
+	res.Admitted, res.RateSheds, res.QueueSheds = w.brk.AdmissionStats()
+	res.CacheHits, res.CacheMisses, _ = w.brk.AuthCacheStats()
+	res.BatchFlushes, res.BatchItems = w.bat.Stats()
+	var availSum float64
+	for _, grp := range w.groups {
+		res.Arrivals += grp.arrivals
+		res.SpikeArrivals += grp.spikeArrivals
+		res.Attempts += grp.attempts
+		res.Attaches += grp.attaches
+		res.Retries += grp.retries
+		res.GiveUps += grp.giveups
+		res.Resumes += grp.resumes
+		res.LatMS = append(res.LatMS, grp.latMS...)
+		for _, u := range grp.ues {
+			dur := u.attachedDur
+			if u.sess != nil {
+				dur += cfg.Duration - u.attachedSince
+			}
+			availSum += float64(dur) / float64(cfg.Duration)
+		}
+		for _, cell := range grp.cells {
+			for _, s := range cell.sessions {
+				res.Sessions++
+				if s.seq == 0 {
+					continue // died before its first report cycle
+				}
+				st, err := w.brk.SettleSession(s.uref, cfg.ReportEvery)
+				if err != nil {
+					continue
+				}
+				res.PaidUnits += st.Amount
+				res.VerifiedBytes += st.VerifiedBytes
+			}
+		}
+	}
+	res.Availability = availSum / float64(len(w.groups)*cfg.UEsPerGroup)
+	return res
+}
+
+// RunStorm runs the attach storm. The error reports only harness
+// failures; load-shedding, retries and give-ups are the product under
+// test and live in the result.
+func RunStorm(cfg StormConfig) (StormResult, error) {
+	cfg = cfg.Defaults()
+	w, err := newStormWorld(cfg)
+	if err != nil {
+		return StormResult{Config: cfg}, err
+	}
+	// Segmented run: the wall-clock cost of each phase is the bench's
+	// batch-vs-serial comparison. Wall time never enters Render.
+	t0 := time.Now()
+	w.world.RunUntil(cfg.SpikeAt)
+	t1 := time.Now()
+	w.world.RunUntil(cfg.SpikeAt + cfg.SpikeDur)
+	t2 := time.Now()
+	w.world.RunUntil(cfg.Duration)
+	t3 := time.Now()
+	if w.runErr != nil {
+		return StormResult{Config: cfg}, fmt.Errorf("testbed: storm run: %w", w.runErr)
+	}
+	res := w.collect()
+	res.WallPre, res.WallSpike, res.WallPost = t1.Sub(t0), t2.Sub(t1), t3.Sub(t2)
+	return res, nil
+}
+
+// SpikeAttachesPerSec is the wall-clock grant throughput inside the
+// flash-crowd window — the headline batching-vs-serial number.
+func (r StormResult) SpikeAttachesPerSec() float64 {
+	if r.WallSpike <= 0 {
+		return 0
+	}
+	return float64(r.SpikeGrants) / r.WallSpike.Seconds()
+}
+
+// ShedFraction is the fraction of attach attempts refused by admission
+// control.
+func (r StormResult) ShedFraction() float64 {
+	if r.Attempts == 0 {
+		return 0
+	}
+	return float64(r.Sheds) / float64(r.Attempts)
+}
+
+// Render produces the deterministic summary: identical bytes for any
+// shard count AND both execution modes — the CI determinism gate
+// hashes exactly this string. Wall-clock numbers are deliberately
+// excluded; so are cache/batch/resume counters (mode-dependent).
+func (r StormResult) Render() string {
+	var b strings.Builder
+	c := r.Config
+	fmt.Fprintf(&b, "storm seed=%d dur=%v groups=%d cells/grp=%d ues/grp=%d shards=any mode=any\n",
+		c.Seed, c.Duration, c.Groups, c.CellsPerGroup, c.UEsPerGroup)
+	fmt.Fprintf(&b, "rate base=%.1f/s peak=%.1f/s spike=x%.1f @%v for %v window=%v report=%v\n",
+		c.BaseRate, c.PeakRate, c.Spike, c.SpikeAt, c.SpikeDur, c.Window, c.ReportEvery)
+	fmt.Fprintf(&b, "admission rate=%.1f/s burst=%.1f maxqueue=%d hint=%v\n",
+		c.Admission.Rate, c.Admission.Burst, c.Admission.MaxQueue, c.Admission.RetryAfter)
+	fmt.Fprintf(&b, "arrivals=%d attempts=%d attaches=%d grants=%d denied=%d retries=%d giveups=%d\n",
+		r.Arrivals, r.Attempts, r.Attaches, r.Grants, r.Denied, r.Retries, r.GiveUps)
+	fmt.Fprintf(&b, "shed total=%d rate=%d queue=%d admitted=%d\n",
+		r.Sheds, r.RateSheds, r.QueueSheds, r.Admitted)
+	fmt.Fprintf(&b, "spike arrivals=%d grants=%d sheds=%d\n",
+		r.SpikeArrivals, r.SpikeGrants, r.SpikeSheds)
+	maxLat := 0.0
+	for _, v := range r.LatMS {
+		if v > maxLat {
+			maxLat = v
+		}
+	}
+	fmt.Fprintf(&b, "latency_ms p50=%.3f p90=%.3f p99=%.3f max=%.3f n=%d\n",
+		apps.PercentileFloats(r.LatMS, 50), apps.PercentileFloats(r.LatMS, 90),
+		apps.PercentileFloats(r.LatMS, 99), maxLat, len(r.LatMS))
+	fmt.Fprintf(&b, "billing sessions=%d reports=%d mismatches=%d paid=%.6f units verified=%d bytes\n",
+		r.Sessions, r.Reports, r.Mismatches, r.PaidUnits, r.VerifiedBytes)
+	fmt.Fprintf(&b, "availability=%.4f\n", r.Availability)
+	return b.String()
+}

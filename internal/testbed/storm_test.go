@@ -1,0 +1,127 @@
+package testbed
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"cellbricks/internal/broker"
+)
+
+// stormTestConfig is small enough for CI yet busy enough to exercise
+// every path: the spike overruns the admission rate (sheds, retries),
+// sessions live across report cycles (billing), and arrivals re-attach
+// to cells they hold tickets for (resumes in optimized mode).
+func stormTestConfig(serial bool, shards int) StormConfig {
+	return StormConfig{
+		Seed:          7,
+		Duration:      6 * time.Second,
+		Groups:        2,
+		CellsPerGroup: 2,
+		UEsPerGroup:   3,
+		BaseRate:      20,
+		Spike:         6,
+		SpikeAt:       3 * time.Second,
+		SpikeDur:      time.Second,
+		Window:        5 * time.Millisecond,
+		ReportEvery:   time.Second,
+		Admission: broker.AdmissionConfig{
+			Rate: 30, Burst: 10, MaxQueue: 32, RetryAfter: 500 * time.Millisecond,
+		},
+		Serial: serial,
+		Shards: shards,
+	}
+}
+
+func stormHash(t *testing.T, cfg StormConfig) (string, StormResult) {
+	t.Helper()
+	res, err := RunStorm(cfg)
+	if err != nil {
+		t.Fatalf("storm serial=%v shards=%d: %v", cfg.Serial, cfg.Shards, err)
+	}
+	sum := sha256.Sum256([]byte(res.Render()))
+	return hex.EncodeToString(sum[:]), res
+}
+
+// The storm's contract: the rendered result is byte-identical across
+// shard counts AND across the serial/optimized execution modes. The CI
+// hash gate reruns this cross-product through cbbench.
+func TestStormByteIdenticalAcrossShardsAndModes(t *testing.T) {
+	ref, base := stormHash(t, stormTestConfig(false, 1))
+	for _, tc := range []struct {
+		name   string
+		serial bool
+		shards int
+	}{
+		{"optimized-2shards", false, 2},
+		{"serial-1shard", true, 1},
+		{"serial-2shards", true, 2},
+	} {
+		h, res := stormHash(t, stormTestConfig(tc.serial, tc.shards))
+		if h != ref {
+			t.Errorf("%s: render hash %s != reference %s\nreference:\n%s\ngot:\n%s",
+				tc.name, h, ref, base.Render(), res.Render())
+		}
+	}
+}
+
+// Sanity: the workload actually exercises the machinery it claims to.
+func TestStormExercisesStormPath(t *testing.T) {
+	_, res := stormHash(t, stormTestConfig(false, 2))
+	if res.Arrivals == 0 || res.Attaches == 0 {
+		t.Fatalf("inert storm: arrivals=%d attaches=%d", res.Arrivals, res.Attaches)
+	}
+	if res.Sheds == 0 || res.Retries == 0 {
+		t.Errorf("spike never overran admission: sheds=%d retries=%d", res.Sheds, res.Retries)
+	}
+	if res.SpikeArrivals == 0 {
+		t.Errorf("no arrivals classified into the spike window")
+	}
+	if res.Resumes == 0 {
+		t.Errorf("optimized mode never used the resume fast path")
+	}
+	if res.CacheHits == 0 {
+		t.Errorf("auth cache never hit: misses=%d", res.CacheMisses)
+	}
+	if res.Denied != 0 {
+		t.Errorf("honest storm saw %d denials", res.Denied)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("honest billing produced %d mismatches", res.Mismatches)
+	}
+	if res.Sessions == 0 || res.PaidUnits <= 0 {
+		t.Errorf("billing inert: sessions=%d paid=%f", res.Sessions, res.PaidUnits)
+	}
+	if res.BatchFlushes == 0 || res.BatchItems == 0 {
+		t.Errorf("batcher inert: flushes=%d items=%d", res.BatchFlushes, res.BatchItems)
+	}
+
+	_, ser := stormHash(t, stormTestConfig(true, 1))
+	if ser.Resumes != 0 {
+		t.Errorf("serial mode used the resume fast path %d times", ser.Resumes)
+	}
+	if ser.CacheHits != 0 {
+		t.Errorf("serial mode hit the auth cache %d times", ser.CacheHits)
+	}
+}
+
+// A giving-up UE must come back on its next arrival, and the retry
+// totals must account exactly for every attempt beyond the first.
+func TestStormAttemptAccounting(t *testing.T) {
+	_, res := stormHash(t, stormTestConfig(false, 1))
+	// Every attempt is the first try of an arrival or a scheduled retry
+	// (a retry whose UE was overtaken by a newer arrival never runs, so
+	// the sum is an upper bound).
+	if res.Attempts < res.Arrivals || res.Attempts > res.Arrivals+res.Retries {
+		t.Errorf("attempts=%d outside [arrivals=%d, arrivals+retries=%d]",
+			res.Attempts, res.Arrivals, res.Arrivals+res.Retries)
+	}
+	// Grants the UE adopted cannot exceed broker grants.
+	if res.Attaches > res.Grants {
+		t.Errorf("adopted %d > granted %d", res.Attaches, res.Grants)
+	}
+	if res.Availability <= 0 || res.Availability > 1 {
+		t.Errorf("availability out of range: %f", res.Availability)
+	}
+}

@@ -13,6 +13,7 @@ var mtr struct {
 	retries       *obs.Counter
 	fallbacks     *obs.Counter
 	giveups       *obs.Counter
+	sheds         *obs.Counter
 	watchdogTrips *obs.Counter
 }
 
@@ -23,7 +24,7 @@ func init() { SetMetricsEnabled(true) }
 func SetMetricsEnabled(on bool) {
 	if !on {
 		mtr.attempts, mtr.retries, mtr.fallbacks, mtr.giveups = nil, nil, nil, nil
-		mtr.watchdogTrips = nil
+		mtr.sheds, mtr.watchdogTrips = nil, nil
 		return
 	}
 	r := obs.Default()
@@ -31,5 +32,6 @@ func SetMetricsEnabled(on bool) {
 	mtr.retries = r.Counter("ue_attach_retries_total", "attach failures absorbed by the retry FSM")
 	mtr.fallbacks = r.Counter("ue_attach_fallbacks_total", "times the FSM rotated off the serving bTelco")
 	mtr.giveups = r.Counter("ue_attach_giveups_total", "attach budgets exhausted without success")
+	mtr.sheds = r.Counter("ue_attach_shed_total", "attach attempts refused by a shedding broker (typed retry-after hint honored)")
 	mtr.watchdogTrips = r.Counter("ue_watchdog_trips_total", "no-goodput watchdog trips (blackhole evidence)")
 }

@@ -148,6 +148,11 @@ func (m *AttachFSM) Fallbacks() int { return m.fallbacks }
 func (m *AttachFSM) Fail(err error) (delay time.Duration, giveUp bool) {
 	m.attempt++
 	mtr.retries.Add(1)
+	var ra *wire.RetryAfterError
+	shed := errors.As(err, &ra)
+	if shed {
+		mtr.sheds.Add(1)
+	}
 	if m.attempt >= m.pol.MaxAttempts {
 		mtr.giveups.Add(1)
 		return 0, true
@@ -159,8 +164,7 @@ func (m *AttachFSM) Fail(err error) (delay time.Duration, giveUp bool) {
 		mtr.fallbacks.Add(1)
 	}
 	delay = m.pol.Backoff(m.attempt, m.rng)
-	var ra *wire.RetryAfterError
-	if errors.As(err, &ra) && ra.After > delay {
+	if shed && ra.After > delay {
 		delay = ra.After
 	}
 	return delay, false
